@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig 15 (predictor MAPE/MSE per VGG13 layer)."""
+
+from repro.experiments import fig15_predictor_error
+
+
+def test_bench_fig15(benchmark):
+    def run():
+        return fig15_predictor_error.run_fig15(
+            epochs=12, num_train=192, num_val=64
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fig15_predictor_error.format_fig15(result, "mape"))
+    print()
+    print(fig15_predictor_error.format_fig15(result, "mse"))
+    # Paper claim shape: MSE falls as training proceeds.
+    for layer in (1, 2, 5):
+        series = result.layer_mse(layer)
+        assert series[-1] < series[0]
+    benchmark.extra_info["layers"] = result.num_layers

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig 16 (VGG13 per-layer cycle characterization)."""
+
+from repro.experiments import fig16_characterization
+
+
+def test_bench_fig16(benchmark):
+    rows = benchmark(fig16_characterization.run_fig16)
+    print()
+    print(fig16_characterization.format_fig16(rows))
+    assert len(rows) == 10
+    for row in rows:
+        # Paper figure shape: the ADA-GP stack is below the baseline bar
+        # for every layer.
+        assert row.adagp_total < row.baseline_cycles
+    ratios = [r.baseline_cycles / r.adagp_total for r in rows]
+    benchmark.extra_info["per_layer_ratio_range"] = (
+        f"{min(ratios):.2f}-{max(ratios):.2f}"
+    )

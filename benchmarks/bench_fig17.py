@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig 17 (speedups over the WS baseline, all models)."""
+
+from repro.accel import DataflowKind
+from repro.experiments import fig17_19_speedup
+from repro.experiments.formats import geometric_mean
+
+
+def test_bench_fig17_ws(benchmark):
+    def run():
+        return fig17_19_speedup.run_speedups(
+            DataflowKind.WEIGHT_STATIONARY, epochs=90, batches_per_epoch=20
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fig17_19_speedup.format_speedups(rows))
+    assert len(rows) == 13 * 3
+    for dataset in ("Cifar10", "Cifar100", "ImageNet"):
+        subset = [r for r in rows if r.dataset == dataset]
+        gm = geometric_mean([r.max_ for r in subset])
+        benchmark.extra_info[f"{dataset}_max_geomean"] = round(gm, 3)
+        # Paper: 1.46x / 1.46x / 1.48x averages, up to 1.51-1.58x.
+        assert 1.35 < gm < 1.6
+        assert max(r.max_ for r in subset) < 1.75

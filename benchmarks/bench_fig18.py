@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig 18 (speedups over the RS baseline, all models)."""
+
+from repro.accel import DataflowKind
+from repro.experiments import fig17_19_speedup
+from repro.experiments.formats import geometric_mean
+
+
+def test_bench_fig18_rs(benchmark):
+    def run():
+        return fig17_19_speedup.run_speedups(
+            DataflowKind.ROW_STATIONARY, epochs=90, batches_per_epoch=20
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fig17_19_speedup.format_speedups(rows))
+    for dataset in ("Cifar10", "Cifar100", "ImageNet"):
+        subset = [r for r in rows if r.dataset == dataset]
+        gm = geometric_mean([r.max_ for r in subset])
+        benchmark.extra_info[f"{dataset}_max_geomean"] = round(gm, 3)
+        # Paper: ~1.46-1.47x averages on RS.
+        assert 1.3 < gm < 1.6

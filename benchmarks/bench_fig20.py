@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig 20 (speedup over GPipe/DAPPLE/Chimera)."""
+
+from repro.experiments import fig20_pipeline
+from repro.experiments.formats import geometric_mean
+from repro.pipeline import PipelineKind
+
+# Paper: up to 1.68x, avg 1.654x (GPipe/DAPPLE); up to 1.6x, avg 1.575x
+# (Chimera).
+PAPER_AVERAGES = {
+    PipelineKind.GPIPE: 1.654,
+    PipelineKind.DAPPLE: 1.654,
+    PipelineKind.CHIMERA: 1.575,
+}
+
+
+def test_bench_fig20_all_pipelines(benchmark):
+    def run():
+        return {
+            kind: fig20_pipeline.run_fig20(kind, epochs=90, batches_per_epoch=20)
+            for kind in PipelineKind
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for kind, rows in results.items():
+        print(fig20_pipeline.format_fig20(rows))
+        print()
+        gm = geometric_mean([r.max_ for r in rows])
+        benchmark.extra_info[f"{kind.value}_max_geomean"] = round(gm, 3)
+        assert abs(gm - PAPER_AVERAGES[kind]) < 0.12

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig 21 (memory-access energy comparison)."""
+
+from repro.experiments import fig21_energy
+from repro.experiments.formats import geometric_mean
+
+
+def test_bench_fig21(benchmark):
+    def run():
+        return fig21_energy.run_fig21(epochs=90, batches_per_epoch=20)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fig21_energy.format_fig21(rows))
+    assert len(rows) == 13
+    mean_saving = 1.0 - geometric_mean(
+        [r.efficient_mj / r.baseline_mj for r in rows]
+    )
+    benchmark.extra_info["mean_saving"] = round(mean_saving, 3)
+    # Paper: ~34% average reduction.
+    assert 0.25 < mean_saving < 0.45

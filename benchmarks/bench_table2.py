@@ -1,0 +1,21 @@
+"""Bench: regenerate Table 2 (Transformer accuracy/BLEU/cycles)."""
+
+import pytest
+
+from repro.experiments import table2_transformer
+
+
+def test_bench_table2_reduced(benchmark):
+    def run():
+        return table2_transformer.run_table2(
+            epochs=12, adagp_epochs=18, num_sentences=128
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(table2_transformer.format_table2(rows))
+    base, ada = rows
+    # Cycle columns are full-scale and match the paper's 1.13x ratio.
+    assert base.cycles_e9 == pytest.approx(1245.87, rel=0.15)
+    assert base.cycles_e9 / ada.cycles_e9 == pytest.approx(1.13, abs=0.03)
+    benchmark.extra_info["cycle_ratio"] = round(base.cycles_e9 / ada.cycles_e9, 3)

@@ -1,0 +1,23 @@
+"""Bench: regenerate Table 3 (YOLO detector class acc / mAP / cycles)."""
+
+import pytest
+
+from repro.experiments import table3_yolo
+
+
+def test_bench_table3_reduced(benchmark):
+    def run():
+        return table3_yolo.run_table3(epochs=20, num_images=160)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(table3_yolo.format_table3(rows))
+    base, eff, max_ = rows
+    # Cycle ratios match the paper's 1.17x / 1.26x.
+    assert base.cycles_e9 / eff.cycles_e9 == pytest.approx(1.176, abs=0.02)
+    assert base.cycles_e9 / max_.cycles_e9 == pytest.approx(1.261, abs=0.02)
+    # Detection quality: both methods detect well above chance.
+    assert base.class_accuracy > 50.0
+    assert eff.class_accuracy > 50.0
+    benchmark.extra_info["eff_ratio"] = round(base.cycles_e9 / eff.cycles_e9, 3)
+    benchmark.extra_info["max_ratio"] = round(base.cycles_e9 / max_.cycles_e9, 3)

@@ -1,0 +1,26 @@
+"""Bench: regenerate Table 4 (FPGA resources + power) and the
+equal-power study of §6.6.1."""
+
+from repro.experiments import table4_5_hardware
+
+
+def test_bench_table4(benchmark):
+    def run():
+        return (
+            table4_5_hardware.format_table4a(),
+            table4_5_hardware.format_table4b(),
+            table4_5_hardware.run_equal_resource_study(extra_pe_fraction=0.10),
+        )
+
+    table_a, table_b, study = benchmark(run)
+    print()
+    print(table_a)
+    print()
+    print(table_b)
+    print()
+    print(table4_5_hardware.format_equal_resource(study))
+    # Paper values present by construction of the component library.
+    assert "472004" in table_a
+    assert "3.856" in table_b
+    for row in study:
+        assert row.adagp_max_gain > row.baseline_gain

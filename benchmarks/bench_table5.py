@@ -1,0 +1,25 @@
+"""Bench: regenerate Table 5 (ASIC area + power) and the equal-area
+study of §6.6.1."""
+
+from repro.experiments import table4_5_hardware
+
+
+def test_bench_table5(benchmark):
+    def run():
+        return (
+            table4_5_hardware.format_table5a(),
+            table4_5_hardware.format_table5b(),
+            table4_5_hardware.run_equal_resource_study(extra_pe_fraction=0.11),
+        )
+
+    table_a, table_b, study = benchmark(run)
+    print()
+    print(table_a)
+    print()
+    print(table_b)
+    print()
+    print(table4_5_hardware.format_equal_resource(study))
+    assert "2982691" in table_a
+    assert "3231136" in table_a
+    for row in study:
+        assert row.adagp_max_gain > row.baseline_gain

@@ -1,0 +1,105 @@
+"""Design-space exploration with the accelerator model.
+
+Sweeps the questions a hardware architect would ask before committing to
+an ADA-GP design:
+
+* How does the speedup of each design (LOW / Efficient / MAX) change
+  with the systolic-array size?
+* How does batch size change the picture?  (The predictor consumes
+  batch-averaged activations, so its overhead is batch-independent and
+  hurts small batches most.)
+* Where does the energy saving come from, per memory level?
+
+Run:  python examples/accelerator_design_space.py
+"""
+
+from repro.accel import (
+    AcceleratorConfig,
+    AcceleratorModel,
+    AdaGPDesign,
+    training_energy,
+)
+from repro.core import HeuristicSchedule
+from repro.experiments.formats import format_table
+from repro.models import spec_for
+
+
+def sweep_array_size() -> None:
+    spec = spec_for("ResNet50", "ImageNet")
+    schedule = HeuristicSchedule()
+    rows = []
+    for rows_, cols in ((8, 8), (12, 15), (16, 16), (32, 32)):
+        model = AcceleratorModel(AcceleratorConfig(rows=rows_, cols=cols))
+        cells = [f"{rows_}x{cols} ({rows_ * cols} PEs)"]
+        for design in AdaGPDesign:
+            cells.append(
+                model.speedup(spec, design, schedule, epochs=90, batches_per_epoch=20)
+            )
+        rows.append(cells)
+    print(
+        format_table(
+            ["Array", "LOW", "Efficient", "MAX"],
+            rows,
+            title="ResNet50/ImageNet speedup vs array size",
+        )
+    )
+
+
+def sweep_batch_size() -> None:
+    spec = spec_for("VGG13", "ImageNet")
+    schedule = HeuristicSchedule()
+    model = AcceleratorModel()
+    rows = []
+    for batch in (1, 4, 16, 64, 256):
+        cells = [batch]
+        for design in AdaGPDesign:
+            cells.append(
+                model.speedup(
+                    spec, design, schedule, epochs=90, batches_per_epoch=20,
+                    batch=batch,
+                )
+            )
+        rows.append(cells)
+    print(
+        format_table(
+            ["Batch", "LOW", "Efficient", "MAX"],
+            rows,
+            title="VGG13/ImageNet speedup vs batch size (alpha amortization)",
+        )
+    )
+
+
+def energy_breakdown() -> None:
+    spec = spec_for("DenseNet121", "ImageNet")
+    rows = []
+    for label, design in (("Baseline", None), ("Efficient", AdaGPDesign.EFFICIENT)):
+        energy = training_energy(
+            spec, design, epochs=90, batches_per_epoch=40000
+        )
+        rows.append(
+            [
+                label,
+                f"{energy.dram_joules / 1e6:.3f}",
+                f"{energy.sram_joules / 1e6:.3f}",
+                f"{energy.total_joules / 1e6:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["Design", "DRAM (MJ)", "SRAM (MJ)", "Total (MJ)"],
+            rows,
+            title="DenseNet121/ImageNet memory energy by level",
+        )
+    )
+
+
+def main() -> None:
+    sweep_array_size()
+    print()
+    sweep_batch_size()
+    print()
+    energy_breakdown()
+
+
+if __name__ == "__main__":
+    main()

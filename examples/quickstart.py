@@ -1,0 +1,75 @@
+"""Quickstart: train one model with backprop vs ADA-GP and compare.
+
+This is the smallest end-to-end tour of the library:
+
+1. build a synthetic CIFAR10-like dataset,
+2. train a VGG13-mini twice — plain backprop (the paper's baseline) and
+   ADA-GP (warm-up, then alternating Phase BP / Phase GP),
+3. report the accuracy comparison (paper Table 1's claim) plus how many
+   backward passes ADA-GP skipped, and
+4. estimate the wall-clock effect on the paper's 180-PE accelerator.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.accel import AcceleratorModel, AdaGPDesign
+from repro.core import AdaGPTrainer, BPTrainer, HeuristicSchedule
+from repro.data import preset_split
+from repro.models import build_mini, spec_for
+from repro.nn.losses import CrossEntropyLoss, accuracy
+
+
+def main() -> None:
+    split = preset_split("Cifar10", num_train=256, num_val=128, seed=0)
+    epochs = 20
+
+    print("== Training VGG13-mini with plain backprop (baseline) ==")
+    bp_model = build_mini("VGG13", 10, rng=np.random.default_rng(1))
+    bp_trainer = BPTrainer(
+        bp_model, CrossEntropyLoss(), lr=0.02, metric_fn=accuracy
+    )
+    bp_history = bp_trainer.fit(
+        lambda: split.train.batches(32, rng=np.random.default_rng(2)),
+        lambda: split.val.batches(64, shuffle=False),
+        epochs=epochs,
+    )
+    print(f"BP best accuracy: {bp_history.best_metric:.1f}%")
+
+    print("\n== Training the same model with ADA-GP ==")
+    # Compressed version of the paper's schedule (§3.5): warm-up, then a
+    # 4:1 -> 3:1 -> 2:1 -> 1:1 GP:BP ratio ladder.
+    schedule = HeuristicSchedule(
+        warmup_epochs=6, ladder=((3, (4, 1)), (3, (3, 1)), (3, (2, 1)))
+    )
+    ada_model = build_mini("VGG13", 10, rng=np.random.default_rng(1))
+    ada_trainer = AdaGPTrainer(
+        ada_model, CrossEntropyLoss(), lr=0.02, metric_fn=accuracy,
+        schedule=schedule,
+    )
+    ada_history = ada_trainer.fit(
+        lambda: split.train.batches(32, rng=np.random.default_rng(2)),
+        lambda: split.val.batches(64, shuffle=False),
+        epochs=epochs,
+    )
+    skipped = sum(ada_history.gp_batches)
+    total = skipped + sum(ada_history.bp_batches)
+    print(f"ADA-GP best accuracy: {ada_history.best_metric:.1f}%")
+    print(
+        f"Backward passes skipped: {skipped}/{total} batches "
+        f"({100 * skipped / total:.0f}%)"
+    )
+
+    print("\n== What that buys on the paper's accelerator ==")
+    spec = spec_for("VGG13", "Cifar10")
+    accelerator = AcceleratorModel()
+    for design in AdaGPDesign:
+        speedup = accelerator.speedup(
+            spec, design, HeuristicSchedule(), epochs=90, batches_per_epoch=50
+        )
+        print(f"{design.value:18s} training speedup over baseline: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

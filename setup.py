@@ -1,0 +1,8 @@
+"""Setup shim: this offline environment lacks the `wheel` package, so
+`pip install -e .` cannot build a wheel; `python setup.py develop` (or
+`pip install -e . --no-build-isolation` once wheel is available) installs
+the same editable package from pyproject.toml metadata."""
+
+from setuptools import setup
+
+setup()

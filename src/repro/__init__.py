@@ -1,0 +1,64 @@
+"""Reproduction of ADA-GP (MICRO 2023): Accelerating DNN Training By
+Adaptive Gradient Prediction.
+
+Package map
+-----------
+``repro.nn``          From-scratch NumPy DNN framework (layers, losses,
+                      optimizers, LR schedulers) with per-layer
+                      forward/backward — the training substrate.
+``repro.models``      Trainable mini model zoo + full-size layer specs
+                      of the paper's 15 networks.
+``repro.data``        Synthetic classification / translation / detection
+                      datasets (offline stand-ins, DESIGN.md §2).
+``repro.core``        The paper's contribution: gradient predictor,
+                      tensor reorganization, phase schedules, and the
+                      ADA-GP / BP trainers.
+``repro.accel``       Systolic accelerator simulator: cycles under four
+                      dataflows, DRAM/SRAM traffic, energy, FPGA/ASIC
+                      area & power.
+``repro.pipeline``    GPipe / DAPPLE / Chimera pipeline schedules with
+                      ADA-GP overlays.
+``repro.experiments`` One module per paper table/figure; see
+                      ``python -m repro.experiments.runner``.
+"""
+
+from . import accel, core, data, experiments, models, nn, pipeline
+from .accel import AcceleratorConfig, AcceleratorModel, AdaGPDesign, DataflowKind
+from .core import (
+    AdaGPTrainer,
+    AdaptiveSchedule,
+    BPTrainer,
+    GradientPredictor,
+    HeuristicSchedule,
+    Phase,
+)
+from .models import build_mini, spec_for
+from .pipeline import PipelineConfig, PipelineKind, pipeline_speedup
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "accel",
+    "core",
+    "data",
+    "experiments",
+    "models",
+    "nn",
+    "pipeline",
+    "AcceleratorConfig",
+    "AcceleratorModel",
+    "AdaGPDesign",
+    "DataflowKind",
+    "AdaGPTrainer",
+    "AdaptiveSchedule",
+    "BPTrainer",
+    "GradientPredictor",
+    "HeuristicSchedule",
+    "Phase",
+    "build_mini",
+    "spec_for",
+    "PipelineConfig",
+    "PipelineKind",
+    "pipeline_speedup",
+    "__version__",
+]

@@ -1,0 +1,270 @@
+"""End-to-end accelerator cost model for baseline BP and the three ADA-GP
+hardware designs (paper §4.2, Fig 14; evaluated in §6.2-§6.3, §6.6.2).
+
+Design differences:
+
+* **ADA-GP-MAX** — dedicated predictor PE array + predictor memory: the
+  predictor's forward (and its training during Phase BP) overlaps the
+  next layer's computation on the main array; only non-hideable spill
+  remains on the critical path.
+* **ADA-GP-Efficient** — dedicated predictor memory only: predictor work
+  serializes after each layer (cost ``alpha`` per layer in FW, ``2*alpha``
+  in BW), but its weights never touch DRAM.
+* **ADA-GP-LOW** — no extra hardware: in addition to serializing, every
+  predictor use streams that layer's (masked) predictor weights from
+  DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.schedule import HeuristicSchedule, Phase, phase_counts
+from ..models.specs import LayerSpec, ModelSpec
+from .config import AcceleratorConfig, AdaGPDesign, PredictorHardware
+from .dataflow import layer_backward_cycles, layer_forward_cycles
+from .memory import (
+    Traffic,
+    layer_backward_traffic,
+    layer_forward_traffic,
+    layer_gp_update_traffic,
+)
+from .predictor_cost import (
+    PredictorLayerCost,
+    gradient_row_of,
+    predictor_layer_cost,
+    predictor_load_cycles,
+)
+
+
+@dataclass(frozen=True)
+class BatchCost:
+    """Cycles + traffic for processing one batch (or an aggregate)."""
+
+    cycles: int = 0
+    traffic: Traffic = field(default_factory=Traffic)
+
+    def __add__(self, other: "BatchCost") -> "BatchCost":
+        return BatchCost(
+            cycles=self.cycles + other.cycles, traffic=self.traffic + other.traffic
+        )
+
+    def scaled(self, factor: int) -> "BatchCost":
+        return BatchCost(
+            cycles=self.cycles * factor, traffic=self.traffic.scaled(factor)
+        )
+
+
+@dataclass(frozen=True)
+class LayerPhaseCost:
+    """Per-layer cycle breakdown used by the Fig 16 characterization."""
+
+    name: str
+    baseline: int  # FW + BW, plain backprop
+    warmup: int  # FW + BW + predictor training overhead
+    phase_bp: int  # same structure as warmup
+    phase_gp: int  # FW + predictor inference overhead
+
+
+class AcceleratorModel:
+    """Costs a full training run of one model spec on the accelerator."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig | None = None,
+        predictor_hw: PredictorHardware | None = None,
+    ) -> None:
+        self.config = config or AcceleratorConfig()
+        self.predictor_hw = predictor_hw or PredictorHardware()
+
+    # ------------------------------------------------------------------
+    # Per-layer primitives.
+    # ------------------------------------------------------------------
+    def _predictor_cost(
+        self, spec: LayerSpec, design: AdaGPDesign
+    ) -> PredictorLayerCost:
+        on_chip = design != AdaGPDesign.LOW
+        return predictor_layer_cost(spec, self.config, self.predictor_hw, on_chip)
+
+    def _load_cycles(self, spec: LayerSpec, design: AdaGPDesign) -> int:
+        """Per-use predictor weight-streaming cost (LOW design only)."""
+        if design != AdaGPDesign.LOW:
+            return 0
+        return predictor_load_cycles(
+            gradient_row_of(spec), self.config, self.predictor_hw
+        )
+
+    # ------------------------------------------------------------------
+    # Batch costs.
+    # ------------------------------------------------------------------
+    def baseline_batch(self, model: ModelSpec, batch: int) -> BatchCost:
+        """One batch of plain backprop training."""
+        cycles = 0
+        traffic = Traffic()
+        for spec in model.layers:
+            cycles += layer_forward_cycles(spec, batch, self.config)
+            cycles += layer_backward_cycles(spec, batch, self.config)
+            traffic = traffic + layer_forward_traffic(spec, batch, self.config)
+            traffic = traffic + layer_backward_traffic(spec, batch, self.config)
+        return BatchCost(cycles=cycles, traffic=traffic)
+
+    def phase_bp_batch(
+        self, model: ModelSpec, batch: int, design: AdaGPDesign
+    ) -> BatchCost:
+        """Phase BP (and Warm Up): backprop + predictor training."""
+        fw_cycles: list[int] = []
+        bw_cycles: list[int] = []
+        alpha_fw: list[int] = []
+        alpha_bw: list[int] = []
+        traffic = Traffic()
+        for spec in model.layers:
+            fw = layer_forward_cycles(spec, batch, self.config)
+            bw = layer_backward_cycles(spec, batch, self.config)
+            traffic = traffic + layer_forward_traffic(spec, batch, self.config)
+            traffic = traffic + layer_backward_traffic(spec, batch, self.config)
+            a_fw = a_bw = 0
+            if spec.is_predictable:
+                pcost = self._predictor_cost(spec, design)
+                a_fw, a_bw = pcost.alpha_fw, pcost.alpha_bw
+                traffic = traffic + pcost.fw_traffic + pcost.train_traffic
+                load = self._load_cycles(spec, design)
+                a_fw += load
+                a_bw += load
+            fw_cycles.append(fw)
+            bw_cycles.append(bw)
+            alpha_fw.append(a_fw)
+            alpha_bw.append(a_bw)
+        if design == AdaGPDesign.MAX:
+            cycles = _overlapped(fw_cycles, alpha_fw) + _overlapped(
+                bw_cycles, alpha_bw
+            )
+        else:
+            cycles = sum(fw_cycles) + sum(alpha_fw) + sum(bw_cycles) + sum(alpha_bw)
+        return BatchCost(cycles=cycles, traffic=traffic)
+
+    def phase_gp_batch(
+        self, model: ModelSpec, batch: int, design: AdaGPDesign
+    ) -> BatchCost:
+        """Phase GP: forward-only with in-flight predicted weight updates."""
+        fw_cycles: list[int] = []
+        alpha_fw: list[int] = []
+        traffic = Traffic()
+        for spec in model.layers:
+            fw = layer_forward_cycles(spec, batch, self.config)
+            traffic = traffic + layer_forward_traffic(spec, batch, self.config)
+            a_fw = 0
+            if spec.is_predictable:
+                pcost = self._predictor_cost(spec, design)
+                a_fw = pcost.alpha_fw + self._load_cycles(spec, design)
+                traffic = traffic + pcost.fw_traffic
+                traffic = traffic + layer_gp_update_traffic(spec, batch, self.config)
+            fw_cycles.append(fw)
+            alpha_fw.append(a_fw)
+        if design == AdaGPDesign.MAX:
+            cycles = _overlapped(fw_cycles, alpha_fw)
+        else:
+            cycles = sum(fw_cycles) + sum(alpha_fw)
+        return BatchCost(cycles=cycles, traffic=traffic)
+
+    # ------------------------------------------------------------------
+    # Training-run aggregation.
+    # ------------------------------------------------------------------
+    def training_cost(
+        self,
+        model: ModelSpec,
+        design: AdaGPDesign,
+        schedule: HeuristicSchedule,
+        epochs: int,
+        batches_per_epoch: int,
+        batch: int = 32,
+    ) -> BatchCost:
+        """Total ADA-GP training cost under a phase schedule."""
+        counts = phase_counts(schedule, epochs, batches_per_epoch)
+        bp_cost = self.phase_bp_batch(model, batch, design)
+        gp_cost = self.phase_gp_batch(model, batch, design)
+        total = bp_cost.scaled(counts[Phase.WARMUP] + counts[Phase.BP])
+        total = total + gp_cost.scaled(counts[Phase.GP])
+        return total
+
+    def baseline_training_cost(
+        self,
+        model: ModelSpec,
+        epochs: int,
+        batches_per_epoch: int,
+        batch: int = 32,
+    ) -> BatchCost:
+        """Total plain-backprop training cost over a whole run."""
+        return self.baseline_batch(model, batch).scaled(epochs * batches_per_epoch)
+
+    def speedup(
+        self,
+        model: ModelSpec,
+        design: AdaGPDesign,
+        schedule: HeuristicSchedule | None = None,
+        epochs: int = 90,
+        batches_per_epoch: int = 100,
+        batch: int = 32,
+    ) -> float:
+        """End-to-end training speedup of a design over the BP baseline."""
+        schedule = schedule or HeuristicSchedule()
+        base = self.baseline_training_cost(model, epochs, batches_per_epoch, batch)
+        ada = self.training_cost(
+            model, design, schedule, epochs, batches_per_epoch, batch
+        )
+        return base.cycles / ada.cycles
+
+    # ------------------------------------------------------------------
+    # Characterization (Fig 16).
+    # ------------------------------------------------------------------
+    def layer_characterization(
+        self,
+        model: ModelSpec,
+        design: AdaGPDesign,
+        batch: int = 32,
+    ) -> list[LayerPhaseCost]:
+        """Per-layer cycle breakdown across training phases.
+
+        Only compute layers are listed (pool/act layers are negligible);
+        the serialized (Efficient/LOW) composition is reported per layer
+        since overlap makes per-layer attribution ambiguous for MAX.
+        """
+        results = []
+        for spec in model.layers:
+            if not spec.is_compute:
+                continue
+            fw = layer_forward_cycles(spec, batch, self.config)
+            bw = layer_backward_cycles(spec, batch, self.config)
+            a_fw = a_bw = load = 0
+            if spec.is_predictable:
+                pcost = self._predictor_cost(spec, design)
+                a_fw, a_bw = pcost.alpha_fw, pcost.alpha_bw
+                load = self._load_cycles(spec, design)
+            results.append(
+                LayerPhaseCost(
+                    name=spec.name,
+                    baseline=fw + bw,
+                    warmup=fw + bw + a_fw + a_bw + 2 * load,
+                    phase_bp=fw + bw + a_fw + a_bw + 2 * load,
+                    phase_gp=fw + a_fw + load,
+                )
+            )
+        return results
+
+
+def _overlapped(main_cycles: list[int], aux_cycles: list[int]) -> int:
+    """Critical path when layer i's aux work overlaps layer i+1 (MAX).
+
+    The auxiliary (predictor) unit processes layer i's activations while
+    the main array runs layer i+1; a long aux task stalls the next layer
+    ("we must still determine the maximum between the original and
+    predictor models", §6.3).
+    """
+    if len(main_cycles) != len(aux_cycles):
+        raise ValueError("main and aux cycle lists must align")
+    total = 0
+    pending_aux = 0  # aux work issued by the previous layer
+    for main, aux in zip(main_cycles, aux_cycles):
+        total += max(main, pending_aux)
+        pending_aux = aux
+    total += pending_aux  # drain the last layer's aux work
+    return total

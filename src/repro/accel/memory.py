@@ -1,0 +1,91 @@
+"""Off-chip / on-chip traffic model.
+
+Counts the DRAM and global-buffer bytes each layer moves per pass.  The
+key asymmetry ADA-GP exploits (§3.7, §6.6.2): a backward pass must
+re-load weights and stored activations from off-chip memory and write
+gradients back, whereas in Phase GP the weights are already on-chip from
+the forward pass and are updated in place — the entire BW traffic
+disappears for GP batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.specs import LayerSpec
+from .config import AcceleratorConfig
+
+
+@dataclass(frozen=True)
+class Traffic:
+    """Byte counts for one unit of work (a layer pass, batch, or run)."""
+
+    dram_read: int = 0
+    dram_write: int = 0
+    sram: int = 0
+
+    def __add__(self, other: "Traffic") -> "Traffic":
+        return Traffic(
+            dram_read=self.dram_read + other.dram_read,
+            dram_write=self.dram_write + other.dram_write,
+            sram=self.sram + other.sram,
+        )
+
+    def scaled(self, factor: int) -> "Traffic":
+        return Traffic(
+            dram_read=self.dram_read * factor,
+            dram_write=self.dram_write * factor,
+            sram=self.sram * factor,
+        )
+
+    @property
+    def dram_total(self) -> int:
+        return self.dram_read + self.dram_write
+
+
+def layer_forward_traffic(
+    spec: LayerSpec, batch: int, config: AcceleratorConfig
+) -> Traffic:
+    """FW: read weights + input activations, write output activations."""
+    elem = config.bytes_per_element
+    weights = spec.weight_params * elem
+    inputs = spec.input_size * batch * elem
+    outputs = spec.output_size * batch * elem
+    dram_read = weights + inputs
+    dram_write = outputs
+    # Data passes through the global buffer on the way in and out.
+    sram = 2 * (dram_read + dram_write)
+    return Traffic(dram_read=dram_read, dram_write=dram_write, sram=sram)
+
+
+def layer_backward_traffic(
+    spec: LayerSpec, batch: int, config: AcceleratorConfig
+) -> Traffic:
+    """BW: reload weights + activations, move gradients, update weights.
+
+    Reads: output grads, weights (for dX), stored input activations (for
+    dW), current weights + momentum (optimizer update).
+    Writes: input grads, weight grads, updated weights + momentum.
+    """
+    elem = config.bytes_per_element
+    weights = spec.weight_params * elem
+    inputs = spec.input_size * batch * elem
+    outputs = spec.output_size * batch * elem
+    dram_read = outputs + weights + inputs + 2 * weights
+    dram_write = inputs + weights + 2 * weights
+    sram = 2 * (dram_read + dram_write)
+    return Traffic(dram_read=dram_read, dram_write=dram_write, sram=sram)
+
+
+def layer_gp_update_traffic(
+    spec: LayerSpec, batch: int, config: AcceleratorConfig
+) -> Traffic:
+    """Extra traffic of a Phase-GP in-place weight update.
+
+    Weights are already resident from the forward pass; only the updated
+    values are written back.  Optimizer state stays in the global buffer
+    (SRAM) for the layer being updated.
+    """
+    elem = config.bytes_per_element
+    weights = spec.weight_params * elem
+    return Traffic(dram_read=0, dram_write=weights, sram=4 * weights)

@@ -1,0 +1,33 @@
+"""ADA-GP core: predictor, reorganization, schedules, trainers, metrics."""
+
+from . import metrics, reorganize
+from .history import History
+from .predictor import GradientPredictor, PredictorNetwork
+from .schedule import (
+    AdaptiveSchedule,
+    HeuristicSchedule,
+    PAPER_FINAL_RATIO,
+    PAPER_RATIO_LADDER,
+    Phase,
+    phase_counts,
+)
+from .dni import DNITrainer, dni_batch_cost_ratio
+from .trainer import AdaGPTrainer, BPTrainer
+
+__all__ = [
+    "metrics",
+    "reorganize",
+    "History",
+    "GradientPredictor",
+    "PredictorNetwork",
+    "AdaptiveSchedule",
+    "HeuristicSchedule",
+    "PAPER_FINAL_RATIO",
+    "PAPER_RATIO_LADDER",
+    "Phase",
+    "phase_counts",
+    "AdaGPTrainer",
+    "BPTrainer",
+    "DNITrainer",
+    "dni_batch_cost_ratio",
+]

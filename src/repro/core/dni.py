@@ -1,0 +1,112 @@
+"""DNI baseline (Jaderberg et al. 2017), for the paper's §2 comparison.
+
+Decoupled Neural Interfaces also predict gradients, but differently from
+ADA-GP in the two ways the paper leans on:
+
+1. DNI *applies* synthetic gradients during every forward pass AND still
+   runs full backpropagation afterwards (to train both the model and the
+   auxiliary predictor) — so it never skips backward work: "DNI does not
+   improve training time.  In fact, it slows down the training time."
+2. ADA-GP instead alternates: predictions are applied only in Phase GP
+   batches where backprop is skipped entirely.
+
+This implementation reuses the ADA-GP predictor machinery so the two
+schemes differ only in scheduling, making the cost comparison
+apples-to-apples: :func:`dni_batch_cost_ratio` shows DNI's per-batch
+cost is strictly above plain BP while ADA-GP's training mix is below.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn.module import Module
+from ..nn.optim import Optimizer
+from .predictor import GradientPredictor
+from .trainer import BPTrainer, LossFn, MetricFn
+
+
+class DNITrainer(BPTrainer):
+    """Backprop + per-layer synthetic-gradient application every batch.
+
+    Each batch: forward (applying predicted gradients layer-by-layer as
+    DNI's decoupled updates), then ordinary backprop that both updates
+    the model with true gradients and trains the predictor.  Strictly
+    more work than BP — the point of the paper's comparison.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn: LossFn,
+        optimizer: Optional[Optimizer] = None,
+        predictor: Optional[GradientPredictor] = None,
+        lr: float = 1e-3,
+        predictor_lr: float = 1e-4,
+        synthetic_lr_scale: float = 0.1,
+        metric_fn: Optional[MetricFn] = None,
+    ) -> None:
+        super().__init__(model, loss_fn, optimizer, lr, metric_fn)
+        self.predictor = predictor or GradientPredictor.for_model(
+            model, lr=predictor_lr
+        )
+        self.layers = nn.predictable_layers(model)
+        if not self.layers:
+            raise ValueError("model has no predictable layers for DNI")
+        self.synthetic_lr_scale = synthetic_lr_scale
+        self._activations: dict[int, np.ndarray] = {}
+
+    def train_batch(self, inputs, targets) -> float:
+        self.model.train()
+        self._activations.clear()
+
+        def hook(layer: Module, output: np.ndarray) -> None:
+            # DNI's decoupled update: apply the synthetic gradient the
+            # moment the layer's forward completes...
+            self._activations[id(layer)] = output
+            weight_grad, bias_grad = self.predictor.predict(layer, output)
+            self.optimizer.apply_gradient(
+                layer.weight, self.synthetic_lr_scale * weight_grad
+            )
+            if layer.bias is not None and bias_grad is not None:
+                self.optimizer.apply_gradient(
+                    layer.bias, self.synthetic_lr_scale * bias_grad
+                )
+
+        for layer in self.layers:
+            layer.forward_hook = hook
+        try:
+            outputs = self.model(inputs)
+        finally:
+            for layer in self.layers:
+                layer.forward_hook = None
+        # ...and then backpropagation still runs in full (the paper's
+        # §2 point: DNI keeps the backward pass).
+        loss, grad = self.loss_fn(outputs, targets)
+        self.optimizer.zero_grad()
+        self.model.backward(grad)
+        self.optimizer.step()
+        for layer in self.layers:
+            output = self._activations.get(id(layer))
+            if output is None or layer.weight.grad is None:
+                continue
+            bias_grad = layer.bias.grad if layer.bias is not None else None
+            self.predictor.train_step(layer, output, layer.weight.grad, bias_grad)
+        return loss
+
+
+def dni_batch_cost_ratio(model_spec, accelerator, batch: int = 32) -> float:
+    """Per-batch accelerator cycles of DNI relative to plain backprop.
+
+    DNI = Phase-BP-style cost (backprop + predictor fw/bw per layer)
+    with no GP batches ever, so the ratio is > 1: the hardware
+    restatement of "DNI slows down the training time".
+    """
+    from ..accel.config import AdaGPDesign
+
+    base = accelerator.baseline_batch(model_spec, batch).cycles
+    dni = accelerator.phase_bp_batch(model_spec, batch, AdaGPDesign.EFFICIENT).cycles
+    return dni / base

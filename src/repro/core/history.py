@@ -1,0 +1,44 @@
+"""Training history records shared by the BP and ADA-GP trainers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class History:
+    """Per-epoch training curves.
+
+    ``predictor_mape``/``predictor_mse`` hold one dict per epoch mapping
+    predictable-layer index (forward order) to the epoch-mean prediction
+    error — exactly the series paper Fig 15 plots for VGG13.
+    """
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_metric: list[float] = field(default_factory=list)
+    gp_batches: list[int] = field(default_factory=list)
+    bp_batches: list[int] = field(default_factory=list)
+    predictor_mape: list[dict[int, float]] = field(default_factory=list)
+    predictor_mse: list[dict[int, float]] = field(default_factory=list)
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.train_loss)
+
+    @property
+    def best_metric(self) -> float:
+        if not self.val_metric:
+            raise ValueError("no epochs recorded")
+        return max(self.val_metric)
+
+    @property
+    def final_metric(self) -> float:
+        if not self.val_metric:
+            raise ValueError("no epochs recorded")
+        return self.val_metric[-1]
+
+    def layer_series(self, layer_index: int, kind: str = "mape") -> list[float]:
+        """Error-over-epochs series for one layer (Fig 15 curves)."""
+        source = self.predictor_mape if kind == "mape" else self.predictor_mse
+        return [epoch.get(layer_index, float("nan")) for epoch in source]

@@ -1,0 +1,201 @@
+"""The ADA-GP predictor model.
+
+A single small network shared by *all* layers of the DNN (paper
+contribution 2).  Following §3.6, it is a stack of pooling layers and a
+small Conv2d, followed by one fully connected layer sized for the
+largest layer of the DNN model; smaller layers mask / truncate the FC
+output to their own gradient-row size.
+
+Input  : reorganized activations ``(out_ch, 1, H, W)``
+Output : gradient rows ``(out_ch, max_row)`` masked to ``(out_ch, row)``
+
+The paper trains the predictor with Adam (lr 1e-4) on the true
+backpropagated gradients during Warm-Up and Phase BP.  Because raw
+gradient magnitudes vary by orders of magnitude across layers and over
+training, the predictor can optionally learn *normalized* targets
+(per-layer running RMS scale, re-applied at prediction time); the paper
+does not specify this detail and it defaults to on for robustness
+(DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn.module import Module, PredictableMixin
+from . import reorganize
+
+
+class PredictorNetwork(Module):
+    """Pool -> Conv -> ReLU -> Pool -> Flatten -> FC (paper Fig 6)."""
+
+    def __init__(
+        self,
+        max_row: int,
+        pool_size: int = 8,
+        conv_channels: int = 4,
+        final_pool: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.max_row = max_row
+        self.net = nn.Sequential(
+            nn.AdaptiveAvgPool2d(pool_size),
+            nn.Conv2d(1, conv_channels, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.AdaptiveAvgPool2d(final_pool),
+            nn.Flatten(),
+            nn.Linear(conv_channels * final_pool * final_pool, max_row, rng=rng),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_out)
+
+
+class GradientPredictor:
+    """Predicts per-layer weight gradients from output activations.
+
+    One instance serves every predictable layer of the model.  The
+    latency of its forward pass is the ``alpha`` of the paper's timeline
+    analysis (§3.7); the accelerator model derives alpha from this same
+    architecture via :meth:`spec_alpha_ops`.
+    """
+
+    def __init__(
+        self,
+        max_row: int,
+        lr: float = 1e-4,
+        normalize_targets: bool = True,
+        scale_momentum: float = 0.9,
+        clip_sigma: float = 3.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if max_row <= 0:
+            raise ValueError(f"max_row must be positive, got {max_row}")
+        self.network = PredictorNetwork(max_row, rng=rng)
+        self.optimizer = nn.Adam(self.network.parameters(), lr=lr)
+        self.mse_loss = nn.MSELoss()
+        self.normalize_targets = normalize_targets
+        self.scale_momentum = scale_momentum
+        # Predicted rows are clipped to +-clip_sigma * (per-layer running
+        # RMS): the accelerator's update datapath saturates rather than
+        # overflowing, and the clip breaks the "noisy prediction -> larger
+        # gradients -> larger scale" feedback loop in long fp32 runs.
+        self.clip_sigma = clip_sigma
+        self._scales: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_model(cls, model: Module, **kwargs) -> "GradientPredictor":
+        """Size the FC layer for the largest layer of ``model`` (§3.6)."""
+        layers = nn.predictable_layers(model)
+        if not layers:
+            raise ValueError("model has no ADA-GP-predictable layers")
+        max_row = max(layer.gradient_size() for layer in layers)
+        return cls(max_row=max_row, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _scale_for(self, layer: PredictableMixin) -> float:
+        return self._scales.get(id(layer), 1.0)
+
+    def _update_scale(self, layer: PredictableMixin, rows: np.ndarray) -> None:
+        rms = float(np.sqrt(np.mean(rows.astype(np.float64) ** 2))) or 1e-12
+        key = id(layer)
+        if key in self._scales:
+            self._scales[key] = (
+                self.scale_momentum * self._scales[key]
+                + (1 - self.scale_momentum) * rms
+            )
+        else:
+            self._scales[key] = rms
+
+    # ------------------------------------------------------------------
+    def predict_rows(self, layer: PredictableMixin, output: np.ndarray) -> np.ndarray:
+        """Raw masked prediction rows for a layer, in gradient units."""
+        units, row = reorganize.gradient_rows(layer)
+        if row > self.network.max_row:
+            raise ValueError(
+                f"layer gradient row {row} exceeds predictor capacity "
+                f"{self.network.max_row}; size the predictor with for_model()"
+            )
+        reorganized = reorganize.reorganize_activations(layer, output)
+        full = self.network(reorganized)
+        rows = full[:, :row]
+        if self.normalize_targets:
+            scale = self._scale_for(layer)
+            bound = self.clip_sigma * scale
+            rows = np.clip(rows * scale, -bound, bound)
+        return rows
+
+    def predict(
+        self, layer: PredictableMixin, output: np.ndarray
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        """Predicted (weight_grad, bias_grad) for ``layer``."""
+        rows = self.predict_rows(layer, output)
+        return reorganize.unflatten_gradients(layer, rows)
+
+    # ------------------------------------------------------------------
+    def train_step(
+        self,
+        layer: PredictableMixin,
+        output: np.ndarray,
+        weight_grad: np.ndarray,
+        bias_grad: Optional[np.ndarray],
+    ) -> tuple[float, float]:
+        """One predictor update against true gradients.
+
+        Returns ``(mse, mape)`` of the prediction *before* the update,
+        in raw gradient units — these feed the paper's Fig 15 curves.
+        """
+        units, row = reorganize.gradient_rows(layer)
+        target_rows = reorganize.flatten_gradients(layer, weight_grad, bias_grad)
+        if self.normalize_targets:
+            self._update_scale(layer, target_rows)
+        scale = self._scale_for(layer) if self.normalize_targets else 1.0
+        reorganized = reorganize.reorganize_activations(layer, output)
+        full = self.network(reorganized)
+        pred_rows = full[:, :row]
+        # Metrics in raw gradient units (float64 avoids fp32 overflow on
+        # transiently exploding gradients).
+        raw_pred = (
+            pred_rows.astype(np.float64) * scale
+            if self.normalize_targets
+            else pred_rows.astype(np.float64)
+        )
+        target64 = target_rows.astype(np.float64)
+        mse = float(np.mean((raw_pred - target64) ** 2))
+        mape = mean_absolute_percentage_error(target64, raw_pred)
+        # Loss on (optionally normalized) targets, masked to `row` columns.
+        target_scaled = target_rows / scale if self.normalize_targets else target_rows
+        _, grad_rows = self.mse_loss(pred_rows, target_scaled.astype(np.float32))
+        grad_full = np.zeros_like(full)
+        grad_full[:, :row] = grad_rows
+        self.network.zero_grad()
+        self.network.backward(grad_full)
+        self.optimizer.step()
+        return mse, mape
+
+    # ------------------------------------------------------------------
+    def num_parameters(self) -> int:
+        """Trainable parameter count of the predictor network."""
+        return self.network.num_parameters()
+
+
+def mean_absolute_percentage_error(
+    actual: np.ndarray, predicted: np.ndarray, eps: float = 1e-8
+) -> float:
+    """MAPE as defined in paper Eq. 1, with an epsilon guard.
+
+    Expressed as a percentage of the mean absolute actual value to avoid
+    division blow-ups on near-zero gradients (the paper plots values in
+    the 0-2% range).
+    """
+    denom = float(np.mean(np.abs(actual))) + eps
+    return float(np.mean(np.abs(actual - predicted)) / denom * 100.0)

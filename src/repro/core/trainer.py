@@ -1,0 +1,298 @@
+"""BP baseline trainer and the ADA-GP trainer (paper §3).
+
+Both trainers consume any :class:`~repro.nn.Module` whose ``forward``
+takes the batch inputs (an array, or a tuple for multi-input models like
+the seq2seq Transformer) and whose ``backward`` accepts the loss
+gradient.  Loss functions return ``(loss_value, grad_wrt_outputs)``.
+
+The ADA-GP trainer implements the three phases:
+
+* **Warm Up / Phase BP** — standard backprop updates the model; the
+  predictor additionally trains on every predictable layer's true
+  gradients (its predictions are computed but *not* applied, §3.3).
+* **Phase GP** — backprop is skipped; a forward hook updates each
+  predictable layer with predicted gradients the moment that layer's
+  forward pass completes (§3.4), mirroring the per-layer immediacy the
+  hardware designs exploit.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn.module import Module, PredictableMixin
+from ..nn.optim import Optimizer, ReduceLROnPlateau, MultiStepLR
+from .history import History
+from .predictor import GradientPredictor
+from .schedule import HeuristicSchedule, Phase
+
+Batch = tuple  # (inputs, targets)
+LossFn = Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]]
+MetricFn = Callable[[np.ndarray, np.ndarray], float]
+BatchesFn = Callable[[], Iterable[Batch]]
+
+
+class BPTrainer:
+    """Plain backpropagation baseline (the paper's comparison point)."""
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn: LossFn,
+        optimizer: Optional[Optimizer] = None,
+        lr: float = 1e-3,
+        metric_fn: Optional[MetricFn] = None,
+        plateau_scheduler: bool = True,
+    ) -> None:
+        self.model = model
+        self.loss_fn = loss_fn
+        self.optimizer = optimizer or nn.SGD(model.parameters(), lr=lr, momentum=0.9)
+        self.metric_fn = metric_fn
+        self.scheduler = (
+            ReduceLROnPlateau(self.optimizer) if plateau_scheduler else None
+        )
+        self.history = History()
+
+    # ------------------------------------------------------------------
+    def train_batch(self, inputs, targets) -> float:
+        """One forward + backward + optimizer step; returns the loss."""
+        self.model.train()
+        outputs = self.model(inputs)
+        loss, grad = self.loss_fn(outputs, targets)
+        self.optimizer.zero_grad()
+        self.model.backward(grad)
+        self.optimizer.step()
+        return loss
+
+    def train_epoch(self, batches: Iterable[Batch]) -> float:
+        """Train over an iterable of batches; returns the mean loss."""
+        losses = [self.train_batch(inputs, targets) for inputs, targets in batches]
+        if not losses:
+            raise ValueError("train_epoch received no batches")
+        return float(np.mean(losses))
+
+    def evaluate(self, batches: Iterable[Batch]) -> tuple[float, float]:
+        """Mean (loss, metric) over validation batches."""
+        self.model.eval()
+        losses: list[float] = []
+        metrics: list[float] = []
+        for inputs, targets in batches:
+            outputs = self.model(inputs)
+            loss, _ = self.loss_fn(outputs, targets)
+            losses.append(loss)
+            if self.metric_fn is not None:
+                metrics.append(self.metric_fn(outputs, targets))
+        self.model.train()
+        mean_metric = float(np.mean(metrics)) if metrics else float("nan")
+        return float(np.mean(losses)), mean_metric
+
+    def fit(
+        self, train_batches: BatchesFn, val_batches: BatchesFn, epochs: int
+    ) -> History:
+        """Run the full train/validate loop and record History."""
+        for _epoch in range(epochs):
+            train_loss = self.train_epoch(train_batches())
+            val_loss, val_metric = self.evaluate(val_batches())
+            if self.scheduler is not None:
+                self.scheduler.step(val_loss)
+            self.history.train_loss.append(train_loss)
+            self.history.val_loss.append(val_loss)
+            self.history.val_metric.append(val_metric)
+            self.history.bp_batches.append(-1)
+            self.history.gp_batches.append(0)
+        return self.history
+
+
+class AdaGPTrainer:
+    """Adaptive gradient-prediction trainer (the paper's algorithm)."""
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn: LossFn,
+        optimizer: Optional[Optimizer] = None,
+        predictor: Optional[GradientPredictor] = None,
+        schedule: Optional[HeuristicSchedule] = None,
+        lr: float = 1e-3,
+        predictor_lr: float = 1e-4,
+        metric_fn: Optional[MetricFn] = None,
+        plateau_scheduler: bool = True,
+        predictor_milestones: tuple[int, ...] = (20, 40),
+        gp_optimizer: Optional[Optimizer] = None,
+    ) -> None:
+        self.model = model
+        self.loss_fn = loss_fn
+        self.optimizer = optimizer or nn.SGD(model.parameters(), lr=lr, momentum=0.9)
+        self.predictor = predictor or GradientPredictor.for_model(
+            model, lr=predictor_lr
+        )
+        # Optimizer used to *apply* predicted gradients in Phase GP.  The
+        # accelerator applies in-flight updates with a plain MAC datapath
+        # (SGD-style, §3.7/§4.2); when the software optimizer is Adam,
+        # pass an SGD instance here to mirror the hardware — Adam's
+        # per-element normalization would otherwise blow small predicted
+        # gradients up into full-size steps.
+        self.gp_optimizer = gp_optimizer or self.optimizer
+        self.schedule = schedule or HeuristicSchedule()
+        self.metric_fn = metric_fn
+        self.scheduler = (
+            ReduceLROnPlateau(self.optimizer) if plateau_scheduler else None
+        )
+        self.predictor_scheduler = MultiStepLR(
+            self.predictor.optimizer, milestones=list(predictor_milestones)
+        )
+        self.layers: list[PredictableMixin] = nn.predictable_layers(model)
+        if not self.layers:
+            raise ValueError("model has no predictable layers for ADA-GP")
+        self._layer_index = {id(layer): i for i, layer in enumerate(self.layers)}
+        self._activations: dict[int, np.ndarray] = {}
+        self.history = History()
+        self.current_epoch = 0
+
+    # ------------------------------------------------------------------
+    # Hooks.
+    # ------------------------------------------------------------------
+    def _install_bp_hooks(self) -> None:
+        """Phase BP: capture each layer's output for predictor training."""
+
+        def hook(layer: Module, output: np.ndarray) -> None:
+            self._activations[id(layer)] = output
+
+        for layer in self.layers:
+            layer.forward_hook = hook
+
+    def _install_gp_hooks(self) -> None:
+        """Phase GP: predict + apply the update as forward proceeds (§3.4)."""
+
+        def hook(layer: Module, output: np.ndarray) -> None:
+            weight_grad, bias_grad = self.predictor.predict(layer, output)
+            self.gp_optimizer.apply_gradient(layer.weight, weight_grad)
+            if layer.bias is not None and bias_grad is not None:
+                self.gp_optimizer.apply_gradient(layer.bias, bias_grad)
+
+        for layer in self.layers:
+            layer.forward_hook = hook
+
+    def _remove_hooks(self) -> None:
+        for layer in self.layers:
+            layer.forward_hook = None
+
+    # ------------------------------------------------------------------
+    # Phase steps.
+    # ------------------------------------------------------------------
+    def train_batch_bp(
+        self, inputs, targets, stats: Optional[dict] = None
+    ) -> float:
+        """Warm Up / Phase BP batch: backprop + predictor training."""
+        self.model.train()
+        self._activations.clear()
+        self._install_bp_hooks()
+        try:
+            outputs = self.model(inputs)
+            loss, grad = self.loss_fn(outputs, targets)
+            self.optimizer.zero_grad()
+            self.model.backward(grad)
+            self.optimizer.step()
+        finally:
+            self._remove_hooks()
+        # Train the predictor on every layer's true gradients (§3.3).
+        for layer in self.layers:
+            output = self._activations.get(id(layer))
+            if output is None or layer.weight.grad is None:
+                continue
+            bias_grad = layer.bias.grad if layer.bias is not None else None
+            mse, mape = self.predictor.train_step(
+                layer, output, layer.weight.grad, bias_grad
+            )
+            if hasattr(self.schedule, "observe_mape"):
+                self.schedule.observe_mape(mape)
+            if stats is not None:
+                index = self._layer_index[id(layer)]
+                stats["mse"][index].append(mse)
+                stats["mape"][index].append(mape)
+        return loss
+
+    def train_batch_gp(self, inputs, targets) -> float:
+        """Phase GP batch: forward-only with per-layer predicted updates."""
+        self.model.train()
+        self._install_gp_hooks()
+        try:
+            outputs = self.model(inputs)
+        finally:
+            self._remove_hooks()
+        loss, _ = self.loss_fn(outputs, targets)  # monitoring only
+        return loss
+
+    # ------------------------------------------------------------------
+    def train_epoch(
+        self, batches: Iterable[Batch], epoch: Optional[int] = None
+    ) -> dict:
+        """Train one epoch under the phase schedule; returns stats."""
+        epoch = self.current_epoch if epoch is None else epoch
+        stats = {
+            "mse": defaultdict(list),
+            "mape": defaultdict(list),
+        }
+        losses: list[float] = []
+        counts = {Phase.WARMUP: 0, Phase.BP: 0, Phase.GP: 0}
+        for batch_index, (inputs, targets) in enumerate(batches):
+            phase = self.schedule.phase_for(epoch, batch_index)
+            counts[phase] += 1
+            if phase == Phase.GP:
+                losses.append(self.train_batch_gp(inputs, targets))
+            else:
+                losses.append(self.train_batch_bp(inputs, targets, stats))
+        if not losses:
+            raise ValueError("train_epoch received no batches")
+        return {
+            "loss": float(np.mean(losses)),
+            "counts": counts,
+            "mse": {k: float(np.mean(v)) for k, v in stats["mse"].items()},
+            "mape": {k: float(np.mean(v)) for k, v in stats["mape"].items()},
+        }
+
+    def evaluate(self, batches: Iterable[Batch]) -> tuple[float, float]:
+        """Mean (loss, metric) over validation batches, hooks disabled."""
+        self.model.eval()
+        self._remove_hooks()
+        losses: list[float] = []
+        metrics: list[float] = []
+        for inputs, targets in batches:
+            outputs = self.model(inputs)
+            loss, _ = self.loss_fn(outputs, targets)
+            losses.append(loss)
+            if self.metric_fn is not None:
+                metrics.append(self.metric_fn(outputs, targets))
+        self.model.train()
+        mean_metric = float(np.mean(metrics)) if metrics else float("nan")
+        return float(np.mean(losses)), mean_metric
+
+    def fit(
+        self, train_batches: BatchesFn, val_batches: BatchesFn, epochs: int
+    ) -> History:
+        """Run warm-up / Phase BP / Phase GP training end-to-end.
+
+        Each epoch is scheduled per batch by ``self.schedule``; validation
+        runs after every epoch and both LR schedulers step.  Per-layer
+        predictor errors (Fig 15's series) accumulate in ``self.history``.
+        """
+        for _ in range(epochs):
+            epoch_stats = self.train_epoch(train_batches(), self.current_epoch)
+            val_loss, val_metric = self.evaluate(val_batches())
+            if self.scheduler is not None:
+                self.scheduler.step(val_loss)
+            self.predictor_scheduler.step()
+            counts = epoch_stats["counts"]
+            self.history.train_loss.append(epoch_stats["loss"])
+            self.history.val_loss.append(val_loss)
+            self.history.val_metric.append(val_metric)
+            self.history.bp_batches.append(counts[Phase.BP] + counts[Phase.WARMUP])
+            self.history.gp_batches.append(counts[Phase.GP])
+            self.history.predictor_mse.append(epoch_stats["mse"])
+            self.history.predictor_mape.append(epoch_stats["mape"])
+            self.current_epoch += 1
+        return self.history

@@ -1,0 +1,59 @@
+"""Dataset containers and batch iteration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+@dataclass
+class ArrayDataset:
+    """A dataset of parallel input/target arrays with batch iteration."""
+
+    inputs: np.ndarray
+    targets: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != len(self.targets):
+            raise ValueError(
+                f"inputs ({len(self.inputs)}) and targets ({len(self.targets)}) "
+                "must have the same length"
+            )
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def batches(
+        self,
+        batch_size: int,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        drop_last: bool = False,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (inputs, targets) mini-batches."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        order = np.arange(len(self))
+        if shuffle:
+            rng = rng if rng is not None else np.random.default_rng(0)
+            rng.shuffle(order)
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            if drop_last and len(idx) < batch_size:
+                return
+            yield self.inputs[idx], self.targets[idx]
+
+    def num_batches(self, batch_size: int, drop_last: bool = False) -> int:
+        if drop_last:
+            return len(self) // batch_size
+        return -(-len(self) // batch_size)
+
+
+@dataclass
+class Split:
+    """A train/validation pair of datasets."""
+
+    train: ArrayDataset
+    val: ArrayDataset

@@ -1,0 +1,43 @@
+"""Experiment harness: one module per paper table/figure.
+
+=================  =====================================================
+Module             Reproduces
+=================  =====================================================
+table1_accuracy    Table 1 — BP vs ADA-GP accuracy (13 models x 3 data)
+fig15_predictor_error   Fig 15 — predictor MAPE/MSE per layer (VGG13)
+fig16_characterization  Fig 16 — VGG13 per-layer cycle breakdown
+fig17_19_speedup   Figs 17/18/19 — speedup over WS/RS/IS baselines
+table2_transformer Table 2 — Transformer accuracy/BLEU/cycles
+table3_yolo        Table 3 — YOLO class acc / mAP / cycles
+fig20_pipeline     Fig 20 — speedup over GPipe/DAPPLE/Chimera
+table4_5_hardware  Tables 4/5 — FPGA/ASIC resources, area, power
+fig21_energy       Fig 21 — memory-access energy comparison
+runner             all of the above (``python -m repro.experiments.runner``)
+=================  =====================================================
+"""
+
+from . import (
+    fig15_predictor_error,
+    fig16_characterization,
+    fig17_19_speedup,
+    fig20_pipeline,
+    fig21_energy,
+    table1_accuracy,
+    table2_transformer,
+    table3_yolo,
+    table4_5_hardware,
+)
+from .runner import run_all
+
+__all__ = [
+    "fig15_predictor_error",
+    "fig16_characterization",
+    "fig17_19_speedup",
+    "fig20_pipeline",
+    "fig21_energy",
+    "table1_accuracy",
+    "table2_transformer",
+    "table3_yolo",
+    "table4_5_hardware",
+    "run_all",
+]

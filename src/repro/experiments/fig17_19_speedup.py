@@ -1,0 +1,117 @@
+"""Figs 17-19: single-chip speedups over WS / RS / IS dataflow baselines.
+
+Paper: across 13 models x 3 datasets, ADA-GP-MAX averages ~1.46-1.48x
+(up to 1.51-1.58x), with Efficient slightly below MAX and LOW slightly
+below Efficient, on all three dataflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel import AcceleratorConfig, AcceleratorModel, AdaGPDesign, DataflowKind
+from ..core import HeuristicSchedule
+from ..models import CLASSIFICATION_MODELS, spec_for
+from .formats import format_table, geometric_mean
+
+FIGURE_OF_DATAFLOW = {
+    DataflowKind.WEIGHT_STATIONARY: "Fig 17",
+    DataflowKind.ROW_STATIONARY: "Fig 18",
+    DataflowKind.INPUT_STATIONARY: "Fig 19",
+}
+
+
+@dataclass
+class SpeedupRow:
+    model: str
+    dataset: str
+    dataflow: DataflowKind
+    low: float
+    efficient: float
+    max_: float
+
+
+def run_speedups(
+    dataflow: DataflowKind = DataflowKind.WEIGHT_STATIONARY,
+    datasets: list[str] | None = None,
+    models: list[str] | None = None,
+    epochs: int = 90,
+    batches_per_epoch: int = 50,
+    batch: int = 32,
+) -> list[SpeedupRow]:
+    """Speedup of each ADA-GP design over the chosen dataflow baseline."""
+    datasets = datasets or ["Cifar10", "Cifar100", "ImageNet"]
+    models = models or CLASSIFICATION_MODELS
+    accelerator = AcceleratorModel(AcceleratorConfig(dataflow=dataflow))
+    schedule = HeuristicSchedule()
+    rows = []
+    for dataset in datasets:
+        for model_name in models:
+            spec = spec_for(model_name, dataset)
+            values = {
+                design: accelerator.speedup(
+                    spec,
+                    design,
+                    schedule=schedule,
+                    epochs=epochs,
+                    batches_per_epoch=batches_per_epoch,
+                    batch=batch,
+                )
+                for design in AdaGPDesign
+            }
+            rows.append(
+                SpeedupRow(
+                    model=model_name,
+                    dataset=dataset,
+                    dataflow=dataflow,
+                    low=values[AdaGPDesign.LOW],
+                    efficient=values[AdaGPDesign.EFFICIENT],
+                    max_=values[AdaGPDesign.MAX],
+                )
+            )
+    return rows
+
+
+def format_speedups(rows: list[SpeedupRow]) -> str:
+    if not rows:
+        raise ValueError("no speedup rows to format")
+    dataflow = rows[0].dataflow
+    blocks = []
+    for dataset in dict.fromkeys(r.dataset for r in rows):
+        subset = [r for r in rows if r.dataset == dataset]
+        table_rows = [
+            [r.model, r.low, r.efficient, r.max_] for r in subset
+        ]
+        table_rows.append(
+            [
+                "Geomean",
+                geometric_mean([r.low for r in subset]),
+                geometric_mean([r.efficient for r in subset]),
+                geometric_mean([r.max_ for r in subset]),
+            ]
+        )
+        blocks.append(
+            format_table(
+                ["Model", "ADA-GP-LOW", "ADA-GP-Efficient", "ADA-GP-MAX"],
+                table_rows,
+                title=(
+                    f"{FIGURE_OF_DATAFLOW[dataflow]}: speedup over "
+                    f"{dataflow.value} baseline — {dataset}"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover
+    for dataflow in (
+        DataflowKind.WEIGHT_STATIONARY,
+        DataflowKind.ROW_STATIONARY,
+        DataflowKind.INPUT_STATIONARY,
+    ):
+        print(format_speedups(run_speedups(dataflow)))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

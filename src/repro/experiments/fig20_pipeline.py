@@ -1,0 +1,95 @@
+"""Fig 20: ADA-GP speedup over GPipe / DAPPLE / Chimera (4 devices).
+
+Paper: up to 1.68x and ~1.654x average over GPipe and DAPPLE, and up to
+1.6x / ~1.575x average over Chimera, on ImageNet across the 13 models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel import AcceleratorModel, AdaGPDesign
+from ..core import HeuristicSchedule
+from ..models import CLASSIFICATION_MODELS, spec_for
+from ..pipeline import PipelineConfig, PipelineKind, pipeline_speedup
+from .formats import format_table, geometric_mean
+
+
+@dataclass
+class Fig20Row:
+    model: str
+    pipeline: PipelineKind
+    low: float
+    efficient: float
+    max_: float
+
+
+def run_fig20(
+    pipeline: PipelineKind = PipelineKind.GPIPE,
+    dataset: str = "ImageNet",
+    models: list[str] | None = None,
+    epochs: int = 90,
+    batches_per_epoch: int = 20,
+    batch: int = 32,
+) -> list[Fig20Row]:
+    models = models or CLASSIFICATION_MODELS
+    accelerator = AcceleratorModel()
+    config = PipelineConfig(num_stages=4, micro_batches=4)
+    schedule = HeuristicSchedule()
+    rows = []
+    for model_name in models:
+        spec = spec_for(model_name, dataset)
+        values = {
+            design: pipeline_speedup(
+                spec,
+                pipeline,
+                design,
+                accelerator=accelerator,
+                config=config,
+                schedule=schedule,
+                epochs=epochs,
+                batches_per_epoch=batches_per_epoch,
+                batch=batch,
+            )
+            for design in AdaGPDesign
+        }
+        rows.append(
+            Fig20Row(
+                model=model_name,
+                pipeline=pipeline,
+                low=values[AdaGPDesign.LOW],
+                efficient=values[AdaGPDesign.EFFICIENT],
+                max_=values[AdaGPDesign.MAX],
+            )
+        )
+    return rows
+
+
+def format_fig20(rows: list[Fig20Row]) -> str:
+    if not rows:
+        raise ValueError("no rows to format")
+    pipeline = rows[0].pipeline
+    table_rows = [[r.model, r.low, r.efficient, r.max_] for r in rows]
+    table_rows.append(
+        [
+            "Geomean",
+            geometric_mean([r.low for r in rows]),
+            geometric_mean([r.efficient for r in rows]),
+            geometric_mean([r.max_ for r in rows]),
+        ]
+    )
+    return format_table(
+        ["Model", "ADA-GP-LOW", "ADA-GP-Efficient", "ADA-GP-MAX"],
+        table_rows,
+        title=f"Fig 20: speedup over {pipeline.value} baseline (4 devices, ImageNet)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    for pipeline in PipelineKind:
+        print(format_fig20(run_fig20(pipeline)))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,151 @@
+"""Table 1: accuracy of BP vs ADA-GP across models and datasets.
+
+Paper: 13 models x {CIFAR10, CIFAR100, ImageNet}, ADA-GP within ~1-2% of
+(often above) the BP baseline.  Reproduced with topology-preserving mini
+models on synthetic datasets (DESIGN.md §2): what must hold is the
+*comparison* — ADA-GP reaching accuracy similar to or better than BP on
+identical data — not the absolute ImageNet numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import AdaGPTrainer, BPTrainer, HeuristicSchedule
+from ..data import preset_split
+from ..models import CLASSIFICATION_MODELS, build_mini
+from ..nn.losses import CrossEntropyLoss, accuracy
+from .formats import format_table
+
+# Class counts of the paper's datasets mapped onto the synthetic presets.
+DATASET_CLASSES = {"Cifar10": 10, "Cifar100": 100, "ImageNet": 200}
+
+# Mini-scale schedule: compressed warm-up + ratio ladder (paper §3.5
+# structure at reduced epoch counts).
+MINI_SCHEDULE = dict(warmup_epochs=6, ladder=((3, (4, 1)), (3, (3, 1)), (3, (2, 1))))
+
+# Per-family learning rates for the minis (bottleneck ResNets need a
+# hotter start at this scale; one LR per family, identical for BP and
+# ADA-GP so the comparison stays controlled).
+MODEL_LR: dict[str, float] = {
+    "ResNet50": 0.1,
+    "ResNet101": 0.1,
+    "ResNet152": 0.1,
+}
+DEFAULT_LR = 0.05
+
+
+@dataclass
+class Table1Row:
+    model: str
+    dataset: str
+    bp_accuracy: float
+    adagp_accuracy: float
+
+    @property
+    def delta(self) -> float:
+        return self.adagp_accuracy - self.bp_accuracy
+
+
+def _train_once(
+    model_name: str,
+    dataset: str,
+    use_adagp: bool,
+    epochs: int,
+    num_train: int,
+    num_val: int,
+    batch_size: int,
+    lr: float,
+    seed: int,
+) -> float:
+    classes = DATASET_CLASSES[dataset]
+    split = preset_split(dataset, num_train=num_train, num_val=num_val, seed=seed)
+    model = build_mini(model_name, classes, rng=np.random.default_rng(seed + 1))
+    loss = CrossEntropyLoss()
+    if use_adagp:
+        trainer: AdaGPTrainer | BPTrainer = AdaGPTrainer(
+            model,
+            loss,
+            metric_fn=accuracy,
+            lr=lr,
+            schedule=HeuristicSchedule(**MINI_SCHEDULE),
+        )
+    else:
+        trainer = BPTrainer(model, loss, metric_fn=accuracy, lr=lr)
+    history = trainer.fit(
+        lambda: split.train.batches(
+            batch_size, rng=np.random.default_rng(seed + 2)
+        ),
+        lambda: split.val.batches(2 * batch_size, shuffle=False),
+        epochs=epochs,
+    )
+    return history.best_metric
+
+
+def run_table1(
+    models: list[str] | None = None,
+    datasets: list[str] | None = None,
+    epochs: int = 20,
+    num_train: int = 256,
+    num_val: int = 128,
+    batch_size: int = 32,
+    lr: float | None = None,
+    seed: int = 0,
+) -> list[Table1Row]:
+    """Train every (model, dataset) pair with BP and with ADA-GP.
+
+    ``lr=None`` uses the per-family defaults in :data:`MODEL_LR`.
+    """
+    models = models if models is not None else CLASSIFICATION_MODELS
+    datasets = datasets if datasets is not None else list(DATASET_CLASSES)
+    rows = []
+    for model_name in models:
+        model_lr = lr if lr is not None else MODEL_LR.get(model_name, DEFAULT_LR)
+        for dataset in datasets:
+            bp_acc = _train_once(
+                model_name, dataset, False, epochs, num_train, num_val,
+                batch_size, model_lr, seed,
+            )
+            ada_acc = _train_once(
+                model_name, dataset, True, epochs, num_train, num_val,
+                batch_size, model_lr, seed,
+            )
+            rows.append(Table1Row(model_name, dataset, bp_acc, ada_acc))
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    datasets = sorted({r.dataset for r in rows}, key=list(DATASET_CLASSES).index)
+    headers = ["Model"] + [f"{d} {c}" for d in datasets for c in ("BP", "ADA-GP")]
+    by_model: dict[str, dict[str, Table1Row]] = {}
+    for row in rows:
+        by_model.setdefault(row.model, {})[row.dataset] = row
+    table_rows = []
+    for model, per_dataset in by_model.items():
+        cells: list[object] = [model]
+        for dataset in datasets:
+            row = per_dataset.get(dataset)
+            cells.append(row.bp_accuracy if row else float("nan"))
+            cells.append(row.adagp_accuracy if row else float("nan"))
+        table_rows.append(cells)
+    return format_table(
+        headers,
+        table_rows,
+        title="Table 1: Accuracy (%) — BP baseline vs ADA-GP (mini/synthetic scale)",
+    )
+
+
+def main() -> None:  # pragma: no cover - exercised via examples
+    rows = run_table1()
+    print(format_table1(rows))
+    deltas = [r.delta for r in rows]
+    print(
+        f"\nmean accuracy delta (ADA-GP - BP): {np.mean(deltas):+.2f}% "
+        f"(paper: +0.75% CIFAR10, +0.88% CIFAR100, -0.3% ImageNet)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,52 @@
+"""Full-size MobileNet-V2 layer specs (Sandler et al. 2018)."""
+
+from __future__ import annotations
+
+from .specs import ModelSpec, SpecBuilder
+
+# (expansion t, output channels c, repeats n, first stride s)
+MOBILENET_V2_CONFIG: list[tuple[int, int, int, int]] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _inverted_residual(
+    builder: SpecBuilder, expansion: int, out_channels: int, stride: int, tag: str
+) -> None:
+    in_channels = builder.channels
+    hidden = in_channels * expansion
+    if expansion != 1:
+        builder.conv(hidden, 1, name=f"{tag}.expand")
+    builder.conv(hidden, 3, stride=stride, padding=1, depthwise=True, name=f"{tag}.dw")
+    builder.conv(out_channels, 1, name=f"{tag}.project")
+
+
+def mobilenet_v2_spec(
+    input_size: int = 224, num_classes: int = 1000
+) -> ModelSpec:
+    """Build the MobileNet-V2 spec.
+
+    For CIFAR-size inputs the stem and the first down-sampling stage run
+    at stride 1, the common 32x32 adaptation.
+    """
+    builder = SpecBuilder("MobileNet-V2", (3, input_size, input_size))
+    small_input = input_size < 64
+    builder.conv(32, 3, stride=1 if small_input else 2, padding=1, name="stem.conv")
+    block = 0
+    for stage_idx, (t, c, n, s) in enumerate(MOBILENET_V2_CONFIG):
+        for i in range(n):
+            stride = s if i == 0 else 1
+            if small_input and stage_idx == 1 and i == 0:
+                stride = 1
+            _inverted_residual(builder, t, c, stride, tag=f"block{block}")
+            block += 1
+    builder.conv(1280, 1, name="head.conv")
+    builder.global_pool()
+    builder.linear(num_classes, name="classifier")
+    return builder.build()

@@ -1,0 +1,83 @@
+"""Full-size Transformer layer specs for the Multi30k experiment.
+
+The paper (§6.4) uses a Transformer with three encoder and three decoder
+layers.  Remaining hyper-parameters follow the base model of Vaswani et
+al. 2017 (d_model=512, 8 heads, d_ff=2048) with a Multi30k-scale
+vocabulary.  Attention projections and feed-forward layers are LINEAR
+specs (predictable); the score/context products are weight-less MATMUL
+specs that the accelerator still executes.
+"""
+
+from __future__ import annotations
+
+from .specs import LayerKind, LayerSpec, ModelSpec
+
+
+def _linear(name: str, in_features: int, out_features: int, positions: int) -> LayerSpec:
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.LINEAR,
+        in_channels=in_features,
+        out_channels=out_features,
+        out_h=positions,
+        out_w=1,
+    )
+
+
+def _matmul(name: str, m: int, k: int, positions: int) -> LayerSpec:
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.MATMUL,
+        in_channels=k,
+        out_channels=m,
+        out_h=positions,
+        out_w=1,
+    )
+
+
+def _attention(
+    layers: list[LayerSpec],
+    tag: str,
+    d_model: int,
+    num_heads: int,
+    len_q: int,
+    len_k: int,
+) -> None:
+    head_dim = d_model // num_heads
+    for proj, length in (("q", len_q), ("k", len_k), ("v", len_k)):
+        layers.append(_linear(f"{tag}.{proj}_proj", d_model, d_model, length))
+    # Scores: for each of len_q rows, a (len_k x head_dim) product per head.
+    layers.append(_matmul(f"{tag}.scores", len_k, head_dim, len_q * num_heads))
+    layers.append(_matmul(f"{tag}.context", head_dim, len_k, len_q * num_heads))
+    layers.append(_linear(f"{tag}.out_proj", d_model, d_model, len_q))
+
+
+def _ffn(layers: list[LayerSpec], tag: str, d_model: int, d_ff: int, length: int) -> None:
+    layers.append(_linear(f"{tag}.ff1", d_model, d_ff, length))
+    layers.append(_linear(f"{tag}.ff2", d_ff, d_model, length))
+
+
+def transformer_spec(
+    num_encoder_layers: int = 3,
+    num_decoder_layers: int = 3,
+    d_model: int = 512,
+    num_heads: int = 8,
+    d_ff: int = 2048,
+    src_len: int = 32,
+    tgt_len: int = 32,
+    vocab_size: int = 8000,
+) -> ModelSpec:
+    """Build the seq2seq Transformer spec (per-sample sequence lengths)."""
+    if d_model % num_heads != 0:
+        raise ValueError("d_model must be divisible by num_heads")
+    layers: list[LayerSpec] = []
+    for i in range(num_encoder_layers):
+        _attention(layers, f"enc{i}.self_attn", d_model, num_heads, src_len, src_len)
+        _ffn(layers, f"enc{i}", d_model, d_ff, src_len)
+    for i in range(num_decoder_layers):
+        _attention(layers, f"dec{i}.self_attn", d_model, num_heads, tgt_len, tgt_len)
+        _attention(layers, f"dec{i}.cross_attn", d_model, num_heads, tgt_len, src_len)
+        _ffn(layers, f"dec{i}", d_model, d_ff, tgt_len)
+    layers.append(_linear("generator", d_model, vocab_size, tgt_len))
+    spec = ModelSpec(name="Transformer", input_shape=(1, src_len, 1), layers=layers)
+    return spec

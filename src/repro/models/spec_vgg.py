@@ -1,0 +1,55 @@
+"""Full-size VGG layer specs (Simonyan & Zisserman 2014).
+
+VGG13 has exactly 10 convolution layers, which is why the paper's Fig 15
+and Fig 16 show 10 layer curves/groups; the spec order here matches that
+numbering.
+"""
+
+from __future__ import annotations
+
+from .specs import ModelSpec, SpecBuilder
+
+# Channel plans; "M" marks a 2x2 max-pool.
+VGG_CONFIGS: dict[str, list] = {
+    "VGG13": [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "VGG16": [
+        64, 64, "M",
+        128, 128, "M",
+        256, 256, 256, "M",
+        512, 512, 512, "M",
+        512, 512, 512, "M",
+    ],
+    "VGG19": [
+        64, 64, "M",
+        128, 128, "M",
+        256, 256, 256, 256, "M",
+        512, 512, 512, 512, "M",
+        512, 512, 512, 512, "M",
+    ],
+}
+
+
+def vgg_spec(name: str, input_size: int = 224, num_classes: int = 1000) -> ModelSpec:
+    """Build a VGG spec.
+
+    ``input_size=224`` yields the ImageNet classifier (25088-4096-4096-C);
+    ``input_size=32`` yields the standard CIFAR adaptation (512-512-C).
+    """
+    if name not in VGG_CONFIGS:
+        raise KeyError(f"unknown VGG variant {name!r}; choose from {list(VGG_CONFIGS)}")
+    builder = SpecBuilder(name, (3, input_size, input_size))
+    conv_index = 0
+    for item in VGG_CONFIGS[name]:
+        if item == "M":
+            builder.pool(2, 2)
+        else:
+            conv_index += 1
+            builder.conv(int(item), 3, padding=1, name=f"conv{conv_index}")
+    if input_size >= 64:
+        builder.linear(4096, name="fc1")
+        builder.linear(4096, name="fc2")
+        builder.linear(num_classes, name="fc3")
+    else:
+        builder.linear(512, name="fc1")
+        builder.linear(num_classes, name="fc2")
+    return builder.build()

@@ -1,0 +1,208 @@
+"""Trainable seq2seq Transformer (3 encoder + 3 decoder layers, paper §6.4).
+
+Implements the full encoder-decoder with explicit backward through
+attention, layer norms and residuals, so both the BP baseline and
+ADA-GP (which predicts gradients for the attention projections and
+feed-forward Linear layers) can train it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn.layers.attention import causal_mask, padding_mask
+from ..nn.module import Module
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward block: Linear -> ReLU -> Linear."""
+
+    def __init__(self, d_model: int, d_ff: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.net = nn.Sequential(
+            nn.Linear(d_model, d_ff, rng=rng),
+            nn.ReLU(),
+            nn.Linear(d_ff, d_model, rng=rng),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_out)
+
+
+class EncoderLayer(Module):
+    """Post-norm Transformer encoder layer."""
+
+    def __init__(self, d_model: int, num_heads: int, d_ff: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.self_attn = nn.MultiHeadAttention(d_model, num_heads, rng=rng)
+        self.norm1 = nn.LayerNorm(d_model)
+        self.ffn = FeedForward(d_model, d_ff, rng)
+        self.norm2 = nn.LayerNorm(d_model)
+
+    def encode(self, x: np.ndarray, mask: Optional[np.ndarray]) -> np.ndarray:
+        attn_out = self.self_attn.attend(x, x, x, mask)
+        x1 = self.norm1(x + attn_out)
+        ffn_out = self.ffn(x1)
+        return self.norm2(x1 + ffn_out)
+
+    def backward_encode(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self.norm2.backward(grad_out)
+        g_x1 = g + self.ffn.backward(g)
+        g1 = self.norm1.backward(g_x1)
+        d_q, d_k, d_v = self.self_attn.backward_attend(g1)
+        return g1 + d_q + d_k + d_v
+
+    # Single-input interface (unused in seq2seq, handy for tests).
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.encode(x, None)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.backward_encode(grad_out)
+
+
+class DecoderLayer(Module):
+    """Post-norm decoder layer: causal self-attn, cross-attn, FFN."""
+
+    def __init__(self, d_model: int, num_heads: int, d_ff: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.self_attn = nn.MultiHeadAttention(d_model, num_heads, rng=rng)
+        self.norm1 = nn.LayerNorm(d_model)
+        self.cross_attn = nn.MultiHeadAttention(d_model, num_heads, rng=rng)
+        self.norm2 = nn.LayerNorm(d_model)
+        self.ffn = FeedForward(d_model, d_ff, rng)
+        self.norm3 = nn.LayerNorm(d_model)
+
+    def decode(
+        self,
+        x: np.ndarray,
+        memory: np.ndarray,
+        self_mask: Optional[np.ndarray],
+        cross_mask: Optional[np.ndarray],
+    ) -> np.ndarray:
+        attn_out = self.self_attn.attend(x, x, x, self_mask)
+        x1 = self.norm1(x + attn_out)
+        cross_out = self.cross_attn.attend(x1, memory, memory, cross_mask)
+        x2 = self.norm2(x1 + cross_out)
+        ffn_out = self.ffn(x2)
+        return self.norm3(x2 + ffn_out)
+
+    def backward_decode(
+        self, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Returns (d_x, d_memory)."""
+        g = self.norm3.backward(grad_out)
+        g_x2 = g + self.ffn.backward(g)
+        g2 = self.norm2.backward(g_x2)
+        d_q, d_mem_k, d_mem_v = self.cross_attn.backward_attend(g2)
+        d_memory = d_mem_k + d_mem_v
+        g_x1 = g2 + d_q
+        g1 = self.norm1.backward(g_x1)
+        d_sq, d_sk, d_sv = self.self_attn.backward_attend(g1)
+        return g1 + d_sq + d_sk + d_sv, d_memory
+
+
+class Seq2SeqTransformer(Module):
+    """Encoder-decoder Transformer over integer token sequences.
+
+    ``forward`` takes the tuple ``(src_ids, tgt_in_ids)`` and returns
+    logits over the target vocabulary for every target position.
+    """
+
+    def __init__(
+        self,
+        src_vocab: int,
+        tgt_vocab: int,
+        d_model: int = 32,
+        num_heads: int = 2,
+        d_ff: int = 64,
+        num_encoder_layers: int = 3,
+        num_decoder_layers: int = 3,
+        max_len: int = 64,
+        pad_id: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.pad_id = pad_id
+        self.d_model = d_model
+        self.src_embed = nn.Embedding(src_vocab, d_model, rng=rng)
+        self.tgt_embed = nn.Embedding(tgt_vocab, d_model, rng=rng)
+        self.pos_enc = nn.PositionalEncoding(d_model, max_len=max_len)
+        self.encoder_layers = [
+            EncoderLayer(d_model, num_heads, d_ff, rng)
+            for _ in range(num_encoder_layers)
+        ]
+        self.decoder_layers = [
+            DecoderLayer(d_model, num_heads, d_ff, rng)
+            for _ in range(num_decoder_layers)
+        ]
+        self.generator = nn.Linear(d_model, tgt_vocab, rng=rng)
+        self._scale = float(np.sqrt(d_model))
+
+    # ------------------------------------------------------------------
+    def encode(self, src_ids: np.ndarray) -> np.ndarray:
+        src_mask = padding_mask(src_ids, self.pad_id)
+        x = self.pos_enc(self.src_embed(src_ids) * self._scale)
+        for layer in self.encoder_layers:
+            x = layer.encode(x, src_mask)
+        return x
+
+    def forward(self, inputs: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+        src_ids, tgt_ids = inputs
+        src_mask = padding_mask(src_ids, self.pad_id)
+        tgt_len = tgt_ids.shape[1]
+        tgt_mask = causal_mask(tgt_len) * padding_mask(tgt_ids, self.pad_id)
+        memory = self.encode(src_ids)
+        y = self.pos_enc(self.tgt_embed(tgt_ids) * self._scale)
+        for layer in self.decoder_layers:
+            y = layer.decode(y, memory, tgt_mask, src_mask)
+        return self.generator(y)
+
+    def backward(self, grad_logits: np.ndarray) -> np.ndarray:
+        g = self.generator.backward(grad_logits)
+        d_memory_total = None
+        for layer in reversed(self.decoder_layers):
+            g, d_memory = layer.backward_decode(g)
+            d_memory_total = (
+                d_memory if d_memory_total is None else d_memory_total + d_memory
+            )
+        g = self.pos_enc.backward(g) * self._scale
+        self.tgt_embed.backward(g)
+        g_mem = d_memory_total
+        for layer in reversed(self.encoder_layers):
+            g_mem = layer.backward_encode(g_mem)
+        g_mem = self.pos_enc.backward(g_mem) * self._scale
+        self.src_embed.backward(g_mem)
+        return np.zeros(0, dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    def greedy_decode(
+        self, src_ids: np.ndarray, max_len: int, bos_id: int, eos_id: int
+    ) -> np.ndarray:
+        """Greedy autoregressive decoding (used for BLEU evaluation)."""
+        batch = src_ids.shape[0]
+        memory = self.encode(src_ids)
+        src_mask = padding_mask(src_ids, self.pad_id)
+        tokens = np.full((batch, 1), bos_id, dtype=np.int64)
+        finished = np.zeros(batch, dtype=bool)
+        for _ in range(max_len - 1):
+            tgt_mask = causal_mask(tokens.shape[1]) * padding_mask(tokens, self.pad_id)
+            y = self.pos_enc(self.tgt_embed(tokens) * self._scale)
+            for layer in self.decoder_layers:
+                y = layer.decode(y, memory, tgt_mask, src_mask)
+            logits = self.generator(y)[:, -1]
+            next_token = logits.argmax(axis=-1)
+            next_token = np.where(finished, self.pad_id, next_token)
+            tokens = np.concatenate([tokens, next_token[:, None]], axis=1)
+            finished |= next_token == eos_id
+            if finished.all():
+                break
+        return tokens

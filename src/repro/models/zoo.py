@@ -1,0 +1,316 @@
+"""Trainable mini variants of the paper's 13 classification models.
+
+Full-size ImageNet networks cannot be trained in NumPy in reasonable
+time, so the accuracy experiments (paper Table 1, Fig 15) run on
+topology-preserving *mini* variants: the same block families (VGG conv
+pairs, ResNet bottlenecks, DenseNet dense/transition blocks, Inception
+mixed branches, MobileNet inverted residuals) with reduced channel
+counts and block repeats.  Relative depth orderings between variants
+(e.g. ResNet152-mini deeper than ResNet50-mini) are preserved.
+
+All builders take an ``rng`` so experiments are reproducible, and return
+plain :class:`~repro.nn.Module` pipelines compatible with both the BP
+baseline trainer and the ADA-GP trainer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn.layers.blocks import conv_bn_relu
+
+
+def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng(0)
+
+
+# ----------------------------------------------------------------------
+# VGG minis
+# ----------------------------------------------------------------------
+_MINI_VGG_CONFIGS: dict[str, list] = {
+    # 10 convs, matching full VGG13's conv count (Figs 15/16 use layers 1-10).
+    "VGG13": [12, 12, "M", 16, 16, "M", 24, 24, "M", 32, 32, "M", 32, 32],
+    "VGG16": [12, 12, "M", 16, 16, "M", 24, 24, 24, "M", 32, 32, 32, "M", 32, 32, 32],
+    "VGG19": [
+        12, 12, "M",
+        16, 16, "M",
+        24, 24, 24, 24, "M",
+        32, 32, 32, 32, "M",
+        32, 32, 32, 32,
+    ],
+}
+
+
+def mini_vgg(
+    name: str, num_classes: int, rng: Optional[np.random.Generator] = None
+) -> nn.Sequential:
+    rng = _rng(rng)
+    layers: list[nn.Module] = []
+    channels = 3
+    for item in _MINI_VGG_CONFIGS[name]:
+        if item == "M":
+            layers.append(nn.MaxPool2d(2))
+        else:
+            layers.append(nn.Conv2d(channels, int(item), 3, padding=1, rng=rng))
+            layers.append(nn.BatchNorm2d(int(item)))
+            layers.append(nn.ReLU())
+            channels = int(item)
+    layers.append(nn.GlobalAvgPool2d())
+    layers.append(nn.Linear(channels, num_classes, rng=rng))
+    return nn.Sequential(*layers)
+
+
+# ----------------------------------------------------------------------
+# ResNet minis (bottleneck blocks)
+# ----------------------------------------------------------------------
+_MINI_RESNET_CONFIGS: dict[str, tuple[int, ...]] = {
+    "ResNet50": (1, 1, 1, 1),
+    "ResNet101": (1, 2, 2, 1),
+    "ResNet152": (2, 2, 3, 2),
+}
+_MINI_STAGE_MID = (8, 12, 16, 24)
+_EXPANSION = 2
+
+
+def _mini_bottleneck(
+    in_channels: int, mid: int, stride: int, rng: np.random.Generator
+) -> nn.Module:
+    out_channels = mid * _EXPANSION
+    main = nn.Sequential(
+        nn.Conv2d(in_channels, mid, 1, bias=False, rng=rng),
+        nn.BatchNorm2d(mid),
+        nn.ReLU(),
+        nn.Conv2d(mid, mid, 3, stride=stride, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(mid),
+        nn.ReLU(),
+        nn.Conv2d(mid, out_channels, 1, bias=False, rng=rng),
+        nn.BatchNorm2d(out_channels),
+    )
+    if stride != 1 or in_channels != out_channels:
+        shortcut: nn.Module = nn.Sequential(
+            nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+            nn.BatchNorm2d(out_channels),
+        )
+    else:
+        shortcut = nn.Identity()
+    return nn.Sequential(nn.Residual(main, shortcut), nn.ReLU())
+
+
+def mini_resnet(
+    name: str, num_classes: int, rng: Optional[np.random.Generator] = None
+) -> nn.Sequential:
+    rng = _rng(rng)
+    blocks = _MINI_RESNET_CONFIGS[name]
+    layers: list[nn.Module] = list(conv_bn_relu(3, 8, 3, padding=1, rng=rng))
+    channels = 8
+    for stage, (count, mid) in enumerate(zip(blocks, _MINI_STAGE_MID), start=1):
+        for block in range(count):
+            stride = 2 if (stage > 1 and block == 0) else 1
+            layers.append(_mini_bottleneck(channels, mid, stride, rng))
+            channels = mid * _EXPANSION
+    layers.append(nn.GlobalAvgPool2d())
+    layers.append(nn.Linear(channels, num_classes, rng=rng))
+    return nn.Sequential(*layers)
+
+
+# ----------------------------------------------------------------------
+# DenseNet minis
+# ----------------------------------------------------------------------
+_MINI_DENSENET_CONFIGS: dict[str, tuple[tuple[int, ...], int, int]] = {
+    "DenseNet121": ((2, 2, 2), 6, 12),
+    "DenseNet161": ((2, 3, 3), 8, 16),
+    "DenseNet169": ((2, 3, 4), 6, 12),
+    "DenseNet201": ((3, 3, 4), 6, 12),
+}
+
+
+def _mini_dense_layer(
+    in_channels: int, growth: int, rng: np.random.Generator
+) -> nn.Module:
+    main = nn.Sequential(
+        nn.BatchNorm2d(in_channels),
+        nn.ReLU(),
+        nn.Conv2d(in_channels, 2 * growth, 1, bias=False, rng=rng),
+        nn.BatchNorm2d(2 * growth),
+        nn.ReLU(),
+        nn.Conv2d(2 * growth, growth, 3, padding=1, bias=False, rng=rng),
+    )
+    return nn.DenseConcat(main)
+
+
+def mini_densenet(
+    name: str, num_classes: int, rng: Optional[np.random.Generator] = None
+) -> nn.Sequential:
+    rng = _rng(rng)
+    block_config, growth, stem = _MINI_DENSENET_CONFIGS[name]
+    layers: list[nn.Module] = list(conv_bn_relu(3, stem, 3, padding=1, rng=rng))
+    channels = stem
+    for block_idx, num_layers in enumerate(block_config, start=1):
+        for _ in range(num_layers):
+            layers.append(_mini_dense_layer(channels, growth, rng))
+            channels += growth
+        if block_idx != len(block_config):
+            channels_out = channels // 2
+            layers.extend(
+                [
+                    nn.BatchNorm2d(channels),
+                    nn.ReLU(),
+                    nn.Conv2d(channels, channels_out, 1, bias=False, rng=rng),
+                    nn.AvgPool2d(2),
+                ]
+            )
+            channels = channels_out
+    layers.extend(
+        [
+            nn.BatchNorm2d(channels),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(),
+            nn.Linear(channels, num_classes, rng=rng),
+        ]
+    )
+    return nn.Sequential(*layers)
+
+
+# ----------------------------------------------------------------------
+# Inception minis
+# ----------------------------------------------------------------------
+def _mini_inception_block(
+    in_channels: int, rng: np.random.Generator
+) -> tuple[nn.Module, int]:
+    """A 3-branch mixed block (1x1 / 3x3 / double 3x3)."""
+    branch1 = conv_bn_relu(in_channels, 8, 1, rng=rng)
+    branch2 = nn.Sequential(
+        *conv_bn_relu(in_channels, 8, 1, rng=rng),
+        *conv_bn_relu(8, 12, 3, padding=1, rng=rng),
+    )
+    branch3 = nn.Sequential(
+        *conv_bn_relu(in_channels, 8, 1, rng=rng),
+        *conv_bn_relu(8, 12, 3, padding=1, rng=rng),
+        *conv_bn_relu(12, 12, 3, padding=1, rng=rng),
+    )
+    return nn.ConcatBranches([branch1, branch2, branch3]), 8 + 12 + 12
+
+
+def _mini_reduction_block(
+    in_channels: int, rng: np.random.Generator
+) -> tuple[nn.Module, int]:
+    branch1 = conv_bn_relu(in_channels, 16, 3, stride=2, padding=1, rng=rng)
+    branch2 = nn.Sequential(
+        *conv_bn_relu(in_channels, 8, 1, rng=rng),
+        *conv_bn_relu(8, 16, 3, stride=2, padding=1, rng=rng),
+    )
+    branch3 = nn.MaxPool2d(2)
+    return nn.ConcatBranches([branch1, branch2, branch3]), 16 + 16 + in_channels
+
+
+def mini_inception(
+    name: str, num_classes: int, rng: Optional[np.random.Generator] = None
+) -> nn.Sequential:
+    """Inception mini: V4 gets one more mixed block than V3."""
+    rng = _rng(rng)
+    layers: list[nn.Module] = list(conv_bn_relu(3, 12, 3, padding=1, rng=rng))
+    channels = 12
+    num_a_blocks = 2 if name == "Inception-V4" else 1
+    for _ in range(num_a_blocks):
+        block, channels = _mini_inception_block(channels, rng)
+        layers.append(block)
+    block, channels = _mini_reduction_block(channels, rng)
+    layers.append(block)
+    block, channels = _mini_inception_block(channels, rng)
+    layers.append(block)
+    layers.append(nn.GlobalAvgPool2d())
+    layers.append(nn.Linear(channels, num_classes, rng=rng))
+    return nn.Sequential(*layers)
+
+
+# ----------------------------------------------------------------------
+# MobileNet mini
+# ----------------------------------------------------------------------
+def _mini_inverted_residual(
+    in_channels: int, out_channels: int, stride: int, expansion: int,
+    rng: np.random.Generator,
+) -> nn.Module:
+    hidden = in_channels * expansion
+    ops: list[nn.Module] = []
+    if expansion != 1:
+        ops.extend(
+            [
+                nn.Conv2d(in_channels, hidden, 1, bias=False, rng=rng),
+                nn.BatchNorm2d(hidden),
+                nn.ReLU6(),
+            ]
+        )
+    # Depthwise stage approximated by a grouped 3x3 with small channel
+    # count (the framework implements dense conv; the accelerator-side
+    # specs use true depthwise costing).
+    ops.extend(
+        [
+            nn.Conv2d(hidden, hidden, 3, stride=stride, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(hidden),
+            nn.ReLU6(),
+            nn.Conv2d(hidden, out_channels, 1, bias=False, rng=rng),
+            nn.BatchNorm2d(out_channels),
+        ]
+    )
+    main = nn.Sequential(*ops)
+    if stride == 1 and in_channels == out_channels:
+        return nn.Residual(main, nn.Identity())
+    return main
+
+
+def mini_mobilenet_v2(
+    num_classes: int, rng: Optional[np.random.Generator] = None
+) -> nn.Sequential:
+    rng = _rng(rng)
+    layers: list[nn.Module] = list(conv_bn_relu(3, 8, 3, padding=1, rng=rng))
+    config = [(1, 8, 1, 1), (2, 12, 2, 2), (2, 16, 2, 2), (2, 24, 2, 1)]
+    channels = 8
+    for t, c, n, s in config:
+        for i in range(n):
+            stride = s if i == 0 else 1
+            layers.append(_mini_inverted_residual(channels, c, stride, t, rng))
+            channels = c
+    layers.extend(
+        [
+            nn.Conv2d(channels, 48, 1, bias=False, rng=rng),
+            nn.BatchNorm2d(48),
+            nn.ReLU6(),
+            nn.GlobalAvgPool2d(),
+            nn.Linear(48, num_classes, rng=rng),
+        ]
+    )
+    return nn.Sequential(*layers)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+MiniBuilder = Callable[[int, Optional[np.random.Generator]], nn.Sequential]
+
+MINI_BUILDERS: dict[str, MiniBuilder] = {
+    "ResNet50": lambda c, r=None: mini_resnet("ResNet50", c, r),
+    "ResNet101": lambda c, r=None: mini_resnet("ResNet101", c, r),
+    "ResNet152": lambda c, r=None: mini_resnet("ResNet152", c, r),
+    "Inception-V4": lambda c, r=None: mini_inception("Inception-V4", c, r),
+    "Inception-V3": lambda c, r=None: mini_inception("Inception-V3", c, r),
+    "VGG13": lambda c, r=None: mini_vgg("VGG13", c, r),
+    "VGG16": lambda c, r=None: mini_vgg("VGG16", c, r),
+    "VGG19": lambda c, r=None: mini_vgg("VGG19", c, r),
+    "DenseNet121": lambda c, r=None: mini_densenet("DenseNet121", c, r),
+    "DenseNet161": lambda c, r=None: mini_densenet("DenseNet161", c, r),
+    "DenseNet169": lambda c, r=None: mini_densenet("DenseNet169", c, r),
+    "DenseNet201": lambda c, r=None: mini_densenet("DenseNet201", c, r),
+    "MobileNet-V2": lambda c, r=None: mini_mobilenet_v2(c, r),
+}
+
+
+def build_mini(
+    name: str, num_classes: int, rng: Optional[np.random.Generator] = None
+) -> nn.Sequential:
+    """Build a mini classification model by paper name."""
+    if name not in MINI_BUILDERS:
+        raise KeyError(f"unknown mini model {name!r}; choose from {sorted(MINI_BUILDERS)}")
+    return MINI_BUILDERS[name](num_classes, rng)

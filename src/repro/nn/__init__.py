@@ -1,0 +1,41 @@
+"""`repro.nn` — a from-scratch layer-wise NumPy DNN framework.
+
+This is the training substrate the ADA-GP reproduction runs on (the
+paper used PyTorch; see DESIGN.md §2 for the substitution rationale).
+Layers implement explicit ``forward``/``backward``; optimizers support
+per-parameter stepping so ADA-GP can update a layer the moment its
+forward pass finishes.
+"""
+
+from . import functional, init, losses, optim
+from .layers import *  # noqa: F401,F403 -- curated in layers/__init__.py
+from .layers import __all__ as _layers_all
+from .losses import (
+    BCEWithLogitsLoss,
+    CrossEntropyLoss,
+    MSELoss,
+    SmoothL1Loss,
+    accuracy,
+)
+from .module import Module, Parameter, PredictableMixin, predictable_layers
+from .optim import SGD, Adam, MultiStepLR, ReduceLROnPlateau
+
+__all__ = [
+    "functional",
+    "init",
+    "losses",
+    "optim",
+    "BCEWithLogitsLoss",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "SmoothL1Loss",
+    "accuracy",
+    "Module",
+    "Parameter",
+    "PredictableMixin",
+    "predictable_layers",
+    "SGD",
+    "Adam",
+    "MultiStepLR",
+    "ReduceLROnPlateau",
+] + list(_layers_all)

@@ -1,0 +1,165 @@
+"""Stateless array operations used by :mod:`repro.nn` layers.
+
+Everything operates on ``float32`` NumPy arrays in NCHW layout.  The
+convolution primitives use an im2col formulation so the heavy lifting is
+a single GEMM, which also mirrors how the accelerator model in
+:mod:`repro.accel` costs a convolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pad2d(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two trailing spatial dims of an NCHW tensor."""
+    if padding == 0:
+        return x
+    return np.pad(
+        x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output size for input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold an NCHW tensor into convolution columns.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(batch, channels * kernel * kernel, out_h * out_w)``.
+    """
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    xp = pad2d(x, padding)
+    windows = np.lib.stride_tricks.sliding_window_view(xp, (kernel, kernel), (2, 3))
+    # windows: (batch, channels, H', W', kernel, kernel) -> strided sampling.
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(
+        batch, channels * kernel * kernel, out_h * out_w
+    )
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold convolution columns back into an NCHW tensor (adjoint of im2col)."""
+    batch, channels, height, width = input_shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=cols.dtype
+    )
+    reshaped = cols.reshape(batch, channels, kernel, kernel, out_h, out_w)
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            padded[:, :, ky:y_end:stride, kx:x_end:stride] += reshaped[:, :, ky, kx]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def leaky_relu(x: np.ndarray, slope: float = 0.1) -> np.ndarray:
+    return np.where(x > 0.0, x, slope * x)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    exp_x = np.exp(x[~pos])
+    out[~pos] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer labels as a float32 one-hot matrix."""
+    labels = np.asarray(labels)
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}); "
+            f"got range [{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def adaptive_pool_splits(in_size: int, out_size: int) -> list[tuple[int, int]]:
+    """Start/end indices of adaptive pooling windows (PyTorch-compatible)."""
+    if out_size <= 0:
+        raise ValueError("adaptive pool output size must be positive")
+    splits = []
+    for i in range(out_size):
+        start = (i * in_size) // out_size
+        end = -(-((i + 1) * in_size) // out_size)  # ceil division
+        splits.append((start, end))
+    return splits
+
+
+def adaptive_avg_pool2d(x: np.ndarray, out_hw: tuple[int, int]) -> np.ndarray:
+    """Average-pool an NCHW tensor to an exact output spatial size."""
+    out_h, out_w = out_hw
+    batch, channels, height, width = x.shape
+    if (height, width) == (out_h, out_w):
+        return x.copy()
+    rows = adaptive_pool_splits(height, out_h)
+    cols = adaptive_pool_splits(width, out_w)
+    out = np.empty((batch, channels, out_h, out_w), dtype=x.dtype)
+    for i, (r0, r1) in enumerate(rows):
+        for j, (c0, c1) in enumerate(cols):
+            out[:, :, i, j] = x[:, :, r0:r1, c0:c1].mean(axis=(2, 3))
+    return out
+
+
+def adaptive_avg_pool2d_backward(
+    grad_out: np.ndarray, input_shape: tuple[int, int, int, int]
+) -> np.ndarray:
+    """Backward of :func:`adaptive_avg_pool2d`."""
+    _, _, height, width = input_shape
+    out_h, out_w = grad_out.shape[2], grad_out.shape[3]
+    if (height, width) == (out_h, out_w):
+        return grad_out.copy()
+    rows = adaptive_pool_splits(height, out_h)
+    cols = adaptive_pool_splits(width, out_w)
+    grad_in = np.zeros(input_shape, dtype=grad_out.dtype)
+    for i, (r0, r1) in enumerate(rows):
+        for j, (c0, c1) in enumerate(cols):
+            area = (r1 - r0) * (c1 - c0)
+            grad_in[:, :, r0:r1, c0:c1] += (
+                grad_out[:, :, i : i + 1, j : j + 1] / area
+            )
+    return grad_in

@@ -1,0 +1,114 @@
+"""Elementwise activation layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..module import Module
+
+
+class ReLU(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0.0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class LeakyReLU(Module):
+    def __init__(self, slope: float = 0.1) -> None:
+        super().__init__()
+        self.slope = slope
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0.0
+        return np.where(self._mask, x, self.slope * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_out, self.slope * grad_out)
+
+
+class ReLU6(Module):
+    """min(max(x, 0), 6) — the MobileNet activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = (x > 0.0) & (x < 6.0)
+        return np.clip(x, 0.0, 6.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class Sigmoid(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = F.sigmoid(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._out * (1.0 - self._out)
+
+
+class Tanh(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * (1.0 - self._out**2)
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation), used by Transformer."""
+
+    _C = 0.7978845608028654  # sqrt(2/pi)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        inner = self._C * (x + 0.044715 * x**3)
+        return 0.5 * x * (1.0 + np.tanh(inner))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._x
+        inner = self._C * (x + 0.044715 * x**3)
+        tanh_inner = np.tanh(inner)
+        sech2 = 1.0 - tanh_inner**2
+        d_inner = self._C * (1.0 + 3 * 0.044715 * x**2)
+        grad = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+        return grad_out * grad

@@ -1,0 +1,116 @@
+"""Multi-head attention with explicit backward, for the Transformer model."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..module import Module
+from .core import Linear
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product multi-head attention.
+
+    Because attention consumes three inputs, it exposes
+    :meth:`attend`/:meth:`backward_attend` instead of the single-input
+    ``forward``/``backward`` pair.  The internal projections are ordinary
+    :class:`~repro.nn.layers.core.Linear` layers, so ADA-GP forward hooks
+    and gradient prediction apply to them transparently.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(
+                f"d_model={d_model} must be divisible by num_heads={num_heads}"
+            )
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+        self.q_proj = Linear(d_model, d_model, rng=rng)
+        self.k_proj = Linear(d_model, d_model, rng=rng)
+        self.v_proj = Linear(d_model, d_model, rng=rng)
+        self.out_proj = Linear(d_model, d_model, rng=rng)
+        self._cache: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(
+            0, 2, 1, 3
+        )
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, _heads, seq, _dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)
+
+    # ------------------------------------------------------------------
+    def attend(
+        self,
+        query: np.ndarray,
+        key: np.ndarray,
+        value: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Compute attention.  ``mask`` holds 1 for visible, 0 for blocked.
+
+        ``mask`` broadcasts against ``(batch, heads, len_q, len_k)``.
+        """
+        q = self._split_heads(self.q_proj(query))
+        k = self._split_heads(self.k_proj(key))
+        v = self._split_heads(self.v_proj(value))
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = np.einsum("bhqd,bhkd->bhqk", q, k, optimize=True) * scale
+        if mask is not None:
+            scores = np.where(mask.astype(bool), scores, np.float32(-1e9))
+        attn = F.softmax(scores, axis=-1)
+        context = np.einsum("bhqk,bhkd->bhqd", attn, v, optimize=True)
+        self._cache = (q, k, v, attn, scale)
+        return self.out_proj(self._merge_heads(context))
+
+    def backward_attend(
+        self, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backward through attention; returns (d_query, d_key, d_value)."""
+        if self._cache is None:
+            raise RuntimeError("backward_attend called before attend")
+        q, k, v, attn, scale = self._cache
+        d_context = self._split_heads(self.out_proj.backward(grad_out))
+        d_attn = np.einsum("bhqd,bhkd->bhqk", d_context, v, optimize=True)
+        d_v = np.einsum("bhqk,bhqd->bhkd", attn, d_context, optimize=True)
+        # Softmax backward: dS = A * (dA - sum(dA * A)).
+        inner = (d_attn * attn).sum(axis=-1, keepdims=True)
+        d_scores = attn * (d_attn - inner)
+        d_q = np.einsum("bhqk,bhkd->bhqd", d_scores, k, optimize=True) * scale
+        d_k = np.einsum("bhqk,bhqd->bhkd", d_scores, q, optimize=True) * scale
+        d_query = self.q_proj.backward(self._merge_heads(d_q))
+        d_key = self.k_proj.backward(self._merge_heads(d_k))
+        d_value = self.v_proj.backward(self._merge_heads(d_v))
+        return d_query, d_key, d_value
+
+    # Single-input Module interface = self-attention without mask.
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.attend(x, x, x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        d_q, d_k, d_v = self.backward_attend(grad_out)
+        return d_q + d_k + d_v
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Lower-triangular (1=visible) mask for autoregressive decoding."""
+    return np.tril(np.ones((1, 1, seq_len, seq_len), dtype=np.float32))
+
+
+def padding_mask(token_ids: np.ndarray, pad_id: int) -> np.ndarray:
+    """Mask keys at padding positions: shape (batch, 1, 1, seq_len)."""
+    visible = (token_ids != pad_id).astype(np.float32)
+    return visible[:, None, None, :]

@@ -1,0 +1,219 @@
+"""Core compute layers: Linear, Conv2d, Flatten, Identity, Sequential."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..module import Module, Parameter, PredictableMixin
+
+
+class Linear(Module, PredictableMixin):
+    """Fully connected layer ``y = x @ W.T + b``.
+
+    ADA-GP treats each output neuron as one predictor sample and predicts
+    its row of the weight gradient (``in_features`` values plus bias).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), in_features, rng),
+            name="weight",
+        )
+        self.bias = (
+            Parameter(init.zeros((out_features,)), name="bias") if bias else None
+        )
+        self._cache_x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected last dim {self.in_features}, got {x.shape}"
+            )
+        self._cache_x = x
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache_x
+        # Collapse any leading dims (batch, sequence, ...) into one.
+        x2 = x.reshape(-1, self.in_features)
+        g2 = grad_out.reshape(-1, self.out_features)
+        self.weight.accumulate_grad(g2.T @ x2)
+        if self.bias is not None:
+            self.bias.accumulate_grad(g2.sum(axis=0))
+        return (g2 @ self.weight.data).reshape(x.shape)
+
+    # -- PredictableMixin ------------------------------------------------
+    def gradient_size(self) -> int:
+        return self.in_features + (1 if self.bias is not None else 0)
+
+    def output_units(self) -> int:
+        return self.out_features
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Conv2d(Module, PredictableMixin):
+    """2-D convolution over NCHW tensors via im2col + GEMM."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.kaiming_uniform(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+            ),
+            name="weight",
+        )
+        self.bias = (
+            Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+        )
+        self._cache_cols: Optional[np.ndarray] = None
+        self._cache_x_shape: Optional[tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected NCHW input with {self.in_channels} channels, "
+                f"got shape {x.shape}"
+            )
+        cols, out_h, out_w = F.im2col(x, self.kernel_size, self.stride, self.padding)
+        self._cache_cols = cols
+        self._cache_x_shape = x.shape
+        w_flat = self.weight.data.reshape(self.out_channels, -1)
+        out = np.einsum("ok,bkl->bol", w_flat, cols, optimize=True)
+        if self.bias is not None:
+            out = out + self.bias.data[None, :, None]
+        return out.reshape(x.shape[0], self.out_channels, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_cols is None or self._cache_x_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch = grad_out.shape[0]
+        g_flat = grad_out.reshape(batch, self.out_channels, -1)
+        grad_w = np.einsum("bol,bkl->ok", g_flat, self._cache_cols, optimize=True)
+        self.weight.accumulate_grad(grad_w.reshape(self.weight.data.shape))
+        if self.bias is not None:
+            self.bias.accumulate_grad(g_flat.sum(axis=(0, 2)))
+        w_flat = self.weight.data.reshape(self.out_channels, -1)
+        grad_cols = np.einsum("ok,bol->bkl", w_flat, g_flat, optimize=True)
+        return F.col2im(
+            grad_cols,
+            self._cache_x_shape,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+
+    # -- PredictableMixin ------------------------------------------------
+    def gradient_size(self) -> int:
+        per_filter = self.in_channels * self.kernel_size * self.kernel_size
+        return per_filter + (1 if self.bias is not None else 0)
+
+    def output_units(self) -> int:
+        return self.out_channels
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+class Flatten(Module):
+    """Flatten all dims after the batch dim."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache_shape: Optional[tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._cache_shape)
+
+
+class Identity(Module):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+class Sequential(Module):
+    """A chain of modules executed in order; backward runs in reverse."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers: list[Module] = list(modules)
+
+    def append(self, module: Module) -> "Sequential":
+        self.layers.append(module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential({inner})"
+
+
+def sequential_of(layers: Sequence[Module]) -> Sequential:
+    """Build a :class:`Sequential` from any sequence of modules."""
+    return Sequential(*layers)

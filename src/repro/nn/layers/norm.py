@@ -1,0 +1,179 @@
+"""Normalization and regularization layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..module import Module, Parameter
+from .. import init
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over the channel dim of NCHW tensors."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)), name="weight")
+        self.bias = Parameter(init.zeros((num_features,)), name="bias")
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm2d expected NCHW with {self.num_features} channels, "
+                f"got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            ).astype(np.float32)
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            ).astype(np.float32)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        self._cache = (x_hat, inv_std)
+        return (
+            self.weight.data[None, :, None, None] * x_hat
+            + self.bias.data[None, :, None, None]
+        )
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std = self._cache
+        axes = (0, 2, 3)
+        count = grad_out.shape[0] * grad_out.shape[2] * grad_out.shape[3]
+        self.weight.accumulate_grad((grad_out * x_hat).sum(axis=axes))
+        self.bias.accumulate_grad(grad_out.sum(axis=axes))
+        gamma = self.weight.data[None, :, None, None]
+        g = grad_out * gamma
+        if not self.training:
+            return g * inv_std[None, :, None, None]
+        g_mean = g.mean(axis=axes, keepdims=True)
+        gx_mean = (g * x_hat).mean(axis=axes, keepdims=True)
+        # Standard batchnorm backward; `count` cancels into the means above.
+        return inv_std[None, :, None, None] * (g - g_mean - x_hat * gx_mean)
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over (batch, features) tensors."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)), name="weight")
+        self.bias = Parameter(init.zeros((num_features,)), name="bias")
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm1d expected (batch, {self.num_features}), got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            ).astype(np.float32)
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            ).astype(np.float32)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return self.weight.data * x_hat + self.bias.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std = self._cache
+        self.weight.accumulate_grad((grad_out * x_hat).sum(axis=0))
+        self.bias.accumulate_grad(grad_out.sum(axis=0))
+        g = grad_out * self.weight.data
+        if not self.training:
+            return g * inv_std
+        g_mean = g.mean(axis=0, keepdims=True)
+        gx_mean = (g * x_hat).mean(axis=0, keepdims=True)
+        return inv_std * (g - g_mean - x_hat * gx_mean)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension (Transformer-style)."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(init.ones((normalized_shape,)), name="weight")
+        self.bias = Parameter(init.zeros((normalized_shape,)), name="bias")
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.normalized_shape:
+            raise ValueError(
+                f"LayerNorm expected last dim {self.normalized_shape}, got {x.shape}"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return self.weight.data * x_hat + self.bias.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std = self._cache
+        reduce_axes = tuple(range(grad_out.ndim - 1))
+        self.weight.accumulate_grad((grad_out * x_hat).sum(axis=reduce_axes))
+        self.bias.accumulate_grad(grad_out.sum(axis=reduce_axes))
+        g = grad_out * self.weight.data
+        g_mean = g.mean(axis=-1, keepdims=True)
+        gx_mean = (g * x_hat).mean(axis=-1, keepdims=True)
+        return inv_std * (g - g_mean - x_hat * gx_mean)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity when the module is in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask

@@ -1,0 +1,124 @@
+"""Pooling layers over NCHW tensors."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..module import Module
+
+
+class MaxPool2d(Module):
+    """Max pooling with square windows."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, _, _ = x.shape
+        cols, out_h, out_w = F.im2col(x, self.kernel_size, self.stride, self.padding)
+        k2 = self.kernel_size * self.kernel_size
+        cols = cols.reshape(batch, channels, k2, out_h * out_w)
+        if self.padding > 0:
+            # Padded zeros must not win the max for all-negative windows.
+            cols = np.where(cols == 0.0, np.float32(-np.inf), cols)
+            has_real = np.isfinite(cols).any(axis=2, keepdims=True)
+            cols = np.where(has_real, cols, 0.0)
+        argmax = cols.argmax(axis=2)
+        out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2)[:, :, 0, :]
+        self._cache = (x.shape, argmax, out_h, out_w)
+        return np.ascontiguousarray(out.reshape(batch, channels, out_h, out_w))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, argmax, out_h, out_w = self._cache
+        batch, channels = x_shape[0], x_shape[1]
+        k2 = self.kernel_size * self.kernel_size
+        grad_cols = np.zeros((batch, channels, k2, out_h * out_w), dtype=grad_out.dtype)
+        g_flat = grad_out.reshape(batch, channels, out_h * out_w)
+        np.put_along_axis(grad_cols, argmax[:, :, None, :], g_flat[:, :, None, :], axis=2)
+        grad_cols = grad_cols.reshape(batch, channels * k2, out_h * out_w)
+        return F.col2im(grad_cols, x_shape, self.kernel_size, self.stride, self.padding)
+
+
+class AvgPool2d(Module):
+    """Average pooling with square windows."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._x_shape: Optional[tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, _, _ = x.shape
+        cols, out_h, out_w = F.im2col(x, self.kernel_size, self.stride, self.padding)
+        k2 = self.kernel_size * self.kernel_size
+        cols = cols.reshape(batch, channels, k2, out_h * out_w)
+        self._x_shape = x.shape
+        return cols.mean(axis=2).reshape(batch, channels, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels = self._x_shape[0], self._x_shape[1]
+        out_h, out_w = grad_out.shape[2], grad_out.shape[3]
+        k2 = self.kernel_size * self.kernel_size
+        g = grad_out.reshape(batch, channels, 1, out_h * out_w) / k2
+        grad_cols = np.broadcast_to(
+            g, (batch, channels, k2, out_h * out_w)
+        ).reshape(batch, channels * k2, out_h * out_w)
+        return F.col2im(
+            np.ascontiguousarray(grad_cols),
+            self._x_shape,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+
+
+class AdaptiveAvgPool2d(Module):
+    """Average-pool to a fixed output size regardless of input size."""
+
+    def __init__(self, output_size: tuple[int, int] | int):
+        super().__init__()
+        if isinstance(output_size, int):
+            output_size = (output_size, output_size)
+        self.output_size = output_size
+        self._x_shape: Optional[tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return F.adaptive_avg_pool2d(x, self.output_size)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        return F.adaptive_avg_pool2d_backward(grad_out, self._x_shape)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions, producing (batch, channels)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: Optional[tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._x_shape
+        grad = grad_out.reshape(batch, channels, 1, 1) / (height * width)
+        return np.broadcast_to(grad, self._x_shape).astype(grad_out.dtype).copy()

@@ -1,0 +1,124 @@
+"""Loss functions.
+
+Every loss is a callable returning ``(loss_value, grad_wrt_input)`` so
+trainers can feed the gradient straight into ``model.backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+
+
+class CrossEntropyLoss:
+    """Softmax cross entropy over logits with integer class targets.
+
+    Supports 2-D logits ``(batch, classes)`` and 3-D logits
+    ``(batch, seq, classes)`` with an optional ``ignore_index`` for padded
+    positions (Transformer training).
+    """
+
+    def __init__(self, ignore_index: Optional[int] = None) -> None:
+        self.ignore_index = ignore_index
+
+    def __call__(
+        self, logits: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        orig_shape = logits.shape
+        num_classes = orig_shape[-1]
+        flat_logits = logits.reshape(-1, num_classes)
+        flat_targets = np.asarray(targets).reshape(-1)
+        if flat_targets.shape[0] != flat_logits.shape[0]:
+            raise ValueError(
+                f"targets shape {targets.shape} incompatible with logits "
+                f"shape {logits.shape}"
+            )
+        if self.ignore_index is not None:
+            valid = flat_targets != self.ignore_index
+        else:
+            valid = np.ones(flat_targets.shape[0], dtype=bool)
+        count = int(valid.sum())
+        if count == 0:
+            return 0.0, np.zeros(orig_shape, dtype=np.float32)
+        log_probs = F.log_softmax(flat_logits, axis=-1)
+        safe_targets = np.where(valid, flat_targets, 0)
+        picked = log_probs[np.arange(flat_targets.shape[0]), safe_targets]
+        loss = -float(picked[valid].mean())
+        probs = np.exp(log_probs)
+        grad = probs
+        grad[np.arange(flat_targets.shape[0]), safe_targets] -= 1.0
+        grad[~valid] = 0.0
+        grad /= count
+        return loss, grad.reshape(orig_shape).astype(np.float32)
+
+
+class MSELoss:
+    """Mean squared error; used to train the gradient predictor."""
+
+    def __call__(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"prediction shape {prediction.shape} != target shape {target.shape}"
+            )
+        diff = prediction - target
+        loss = float(np.mean(diff**2))
+        grad = (2.0 / diff.size) * diff
+        return loss, grad.astype(np.float32)
+
+
+class SmoothL1Loss:
+    """Huber-style loss used by the detection head."""
+
+    def __init__(self, beta: float = 1.0) -> None:
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        self.beta = beta
+
+    def __call__(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"prediction shape {prediction.shape} != target shape {target.shape}"
+            )
+        diff = prediction - target
+        abs_diff = np.abs(diff)
+        quad = abs_diff < self.beta
+        losses = np.where(
+            quad, 0.5 * diff**2 / self.beta, abs_diff - 0.5 * self.beta
+        )
+        loss = float(losses.mean())
+        grad = np.where(quad, diff / self.beta, np.sign(diff)) / diff.size
+        return loss, grad.astype(np.float32)
+
+
+class BCEWithLogitsLoss:
+    """Sigmoid + binary cross entropy, numerically stable."""
+
+    def __call__(
+        self, logits: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        if logits.shape != targets.shape:
+            raise ValueError(
+                f"logits shape {logits.shape} != targets shape {targets.shape}"
+            )
+        # log(1 + exp(-|x|)) formulation avoids overflow.
+        losses = (
+            np.maximum(logits, 0.0)
+            - logits * targets
+            + np.log1p(np.exp(-np.abs(logits)))
+        )
+        loss = float(losses.mean())
+        grad = (F.sigmoid(logits) - targets) / logits.size
+        return loss, grad.astype(np.float32)
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy in percent for (batch, classes) logits."""
+    predictions = logits.argmax(axis=-1)
+    return float((predictions == np.asarray(targets)).mean() * 100.0)

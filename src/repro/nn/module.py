@@ -1,0 +1,211 @@
+"""Base classes of the layer-wise NumPy neural-network framework.
+
+The framework intentionally avoids taped autograd: every layer implements
+an explicit ``forward`` and an explicit ``backward`` that consumes the
+gradient of the loss with respect to the layer output and returns the
+gradient with respect to the layer input, accumulating parameter
+gradients on the way.  This mirrors what a DNN accelerator executes and
+gives ADA-GP direct access to the two things it needs:
+
+* per-layer output activations (via forward hooks), and
+* per-layer weight-gradient injection without running backward.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor: raw data plus an accumulated gradient.
+
+    Parameters are plain ``float32`` NumPy arrays.  Gradients accumulate
+    across ``backward`` calls until :meth:`zero_grad` clears them, which
+    matches the semantics of mainstream frameworks.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "param") -> None:
+        self.data = np.ascontiguousarray(data, dtype=np.float32)
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the stored gradient, allocating on first use."""
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"shape {self.data.shape} for {self.name!r}"
+            )
+        if self.grad is None:
+            self.grad = grad.astype(np.float32, copy=True)
+        else:
+            self.grad += grad
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+# Signature of a forward hook: hook(module, output) -> None.
+ForwardHook = Callable[["Module", np.ndarray], None]
+
+
+class Module:
+    """Base class for all layers and composite blocks.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`.  Calling a
+    module (``module(x)``) runs forward and then fires the module's
+    ``forward_hook`` if one is installed; the ADA-GP trainer uses this to
+    observe activations and, in Phase GP, update weights immediately.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+        self.forward_hook: Optional[ForwardHook] = None
+
+    # ------------------------------------------------------------------
+    # Interface to implement.
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Invocation.
+    # ------------------------------------------------------------------
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = self.forward(x)
+        if self.forward_hook is not None:
+            self.forward_hook(self, out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def _direct_parameters(self) -> Iterator[Parameter]:
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                yield value
+
+    def _direct_children(self) -> Iterator[tuple[str, "Module"]]:
+        for key, value in self.__dict__.items():
+            if isinstance(value, Module):
+                yield key, value
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{key}.{i}", item
+
+    def children(self) -> Iterator["Module"]:
+        for _name, child in self._direct_children():
+            yield child
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` for this module and descendants."""
+        yield prefix or "root", self
+        for name, child in self._direct_children():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _name, module in self.named_modules():
+            yield module
+
+    def parameters(self) -> Iterator[Parameter]:
+        seen: set[int] = set()
+        for module in self.modules():
+            for param in module._direct_parameters():
+                if id(param) not in seen:
+                    seen.add(id(param))
+                    yield param
+
+    def named_parameters(self) -> Iterator[tuple[str, Parameter]]:
+        seen: set[int] = set()
+        for mod_name, module in self.named_modules():
+            for param in module._direct_parameters():
+                if id(param) not in seen:
+                    seen.add(id(param))
+                    yield f"{mod_name}.{param.name}", param
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # State management.
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"state dict is missing parameters: {sorted(missing)}")
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float32)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{value.shape} vs {param.data.shape}"
+                )
+            param.data = value.copy()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class PredictableMixin:
+    """Marker for layers whose weight gradients ADA-GP can predict.
+
+    Predictable layers expose ``weight`` (and optionally ``bias``)
+    parameters and record, during forward, the output activation that the
+    predictor consumes.
+    """
+
+    weight: Parameter
+    bias: Optional[Parameter]
+
+    def gradient_size(self) -> int:
+        """Number of gradient values to predict per output unit."""
+        raise NotImplementedError
+
+    def output_units(self) -> int:
+        """Number of output units (filters / neurons) of the layer."""
+        raise NotImplementedError
+
+
+def predictable_layers(model: Module) -> list[Module]:
+    """Return every ADA-GP-predictable layer of ``model`` in forward order.
+
+    Forward order here is definition order, which all models in
+    :mod:`repro.models` keep aligned with execution order.
+    """
+    return [m for m in model.modules() if isinstance(m, PredictableMixin)]

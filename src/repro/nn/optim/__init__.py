@@ -1,0 +1,13 @@
+"""Optimizers and learning-rate schedulers."""
+
+from .optimizers import Adam, Optimizer, SGD
+from .schedulers import LRScheduler, MultiStepLR, ReduceLROnPlateau
+
+__all__ = [
+    "Adam",
+    "Optimizer",
+    "SGD",
+    "LRScheduler",
+    "MultiStepLR",
+    "ReduceLROnPlateau",
+]

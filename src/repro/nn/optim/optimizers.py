@@ -1,0 +1,137 @@
+"""Optimizers with per-parameter stepping.
+
+``step_param`` exists because ADA-GP Phase GP updates a layer's weights
+immediately after that layer's forward pass finishes — long before the
+rest of the network has run — so the optimizer must be able to step one
+parameter at a time while keeping its state (momentum, Adam moments)
+consistent with whole-model steps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self._param_ids = {id(p) for p in self.parameters}
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        for param in self.parameters:
+            if param.grad is not None:
+                self.step_param(param)
+
+    def step_param(self, param: Parameter) -> None:
+        """Apply one update to a single parameter using ``param.grad``."""
+        raise NotImplementedError
+
+    def apply_gradient(self, param: Parameter, grad: np.ndarray) -> None:
+        """Step ``param`` with an externally supplied gradient.
+
+        This is the Phase-GP entry point: predicted gradients never touch
+        ``param.grad`` (which may be mid-accumulation elsewhere).
+        """
+        saved = param.grad
+        param.grad = np.asarray(grad, dtype=np.float32)
+        try:
+            self.step_param(param)
+        finally:
+            param.grad = saved
+
+    def owns(self, param: Parameter) -> bool:
+        return id(param) in self._param_ids
+
+
+class SGD(Optimizer):
+    """SGD with momentum and weight decay (paper: model optimizer)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step_param(self, param: Parameter) -> None:
+        if param.grad is None:
+            return
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            velocity = self._velocity.get(id(param))
+            if velocity is None:
+                velocity = np.zeros_like(param.data)
+            velocity = self.momentum * velocity + grad
+            self._velocity[id(param)] = velocity
+            update = velocity
+        else:
+            update = grad
+        param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam (paper: predictor optimizer, lr=1e-4)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-4,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t: dict[int, int] = {}
+
+    def step_param(self, param: Parameter) -> None:
+        if param.grad is None:
+            return
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        beta1, beta2 = self.betas
+        key = id(param)
+        m = self._m.get(key)
+        v = self._v.get(key)
+        if m is None:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+        t = self._t.get(key, 0) + 1
+        m = beta1 * m + (1 - beta1) * grad
+        v = beta2 * v + (1 - beta2) * grad**2
+        self._m[key], self._v[key], self._t[key] = m, v, t
+        m_hat = m / (1 - beta1**t)
+        v_hat = v / (1 - beta2**t)
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

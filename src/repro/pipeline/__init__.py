@@ -1,0 +1,41 @@
+"""Multi-device pipeline schedules (GPipe/DAPPLE/Chimera) + ADA-GP overlays."""
+
+from .adagp import StageTimes, model_stage_times, pipeline_speedup
+from .schedules import (
+    PipelineConfig,
+    PipelineKind,
+    batch_makespan,
+    gp_batch_increment,
+    gp_drain,
+    sequence_makespan,
+    training_phase_sequence,
+)
+from .simulator import (
+    Task,
+    Timeline,
+    simulate_chimera,
+    simulate_dapple,
+    simulate_gp_stream,
+    simulate_gp_then_bp,
+    simulate_gpipe,
+)
+
+__all__ = [
+    "StageTimes",
+    "model_stage_times",
+    "pipeline_speedup",
+    "PipelineConfig",
+    "PipelineKind",
+    "batch_makespan",
+    "gp_batch_increment",
+    "gp_drain",
+    "sequence_makespan",
+    "training_phase_sequence",
+    "Task",
+    "Timeline",
+    "simulate_chimera",
+    "simulate_dapple",
+    "simulate_gp_stream",
+    "simulate_gp_then_bp",
+    "simulate_gpipe",
+]

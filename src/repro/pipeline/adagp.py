@@ -1,0 +1,109 @@
+"""ADA-GP speedups over multi-device pipeline baselines (Fig 20, §6.5).
+
+Per-model forward/backward stage times come from the accelerator cycle
+model (total FW / BW cycles split evenly over the devices — the paper's
+balanced-partition assumption), and predictor overhead (alpha) per
+device is folded into the ADA-GP stage times exactly as in the
+single-chip analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel.adagp import AcceleratorModel
+from ..accel.config import AdaGPDesign
+from ..accel.dataflow import layer_backward_cycles, layer_forward_cycles
+from ..accel.predictor_cost import predictor_layer_cost, predictor_load_cycles
+from ..accel.predictor_cost import gradient_row_of
+from ..core.schedule import HeuristicSchedule
+from ..models.specs import ModelSpec
+from .schedules import (
+    PipelineConfig,
+    PipelineKind,
+    batch_makespan,
+    sequence_makespan,
+    training_phase_sequence,
+)
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Per-device, per-micro-batch stage durations (in cycles)."""
+
+    tf: float
+    tb: float
+    alpha_fw: float
+    alpha_bw: float
+
+
+def model_stage_times(
+    model: ModelSpec,
+    accelerator: AcceleratorModel,
+    config: PipelineConfig,
+    design: AdaGPDesign,
+    batch: int = 32,
+) -> StageTimes:
+    """Split a model's per-batch work evenly across pipeline devices.
+
+    Micro-batches divide the batch: each device runs 1/S of the layers
+    on 1/M of the samples per slot.
+    """
+    micro_batch = max(batch // config.micro_batches, 1)
+    fw = bw = a_fw = a_bw = 0.0
+    for spec in model.layers:
+        fw += layer_forward_cycles(spec, micro_batch, accelerator.config)
+        bw += layer_backward_cycles(spec, micro_batch, accelerator.config)
+        if spec.is_predictable:
+            pcost = predictor_layer_cost(
+                spec,
+                accelerator.config,
+                accelerator.predictor_hw,
+                on_chip_weights=design != AdaGPDesign.LOW,
+            )
+            load = 0
+            if design == AdaGPDesign.LOW:
+                load = predictor_load_cycles(
+                    gradient_row_of(spec),
+                    accelerator.config,
+                    accelerator.predictor_hw,
+                )
+            a_fw += pcost.alpha_fw + load
+            a_bw += pcost.alpha_bw + load
+    stages = config.num_stages
+    return StageTimes(
+        tf=fw / stages, tb=bw / stages, alpha_fw=a_fw / stages, alpha_bw=a_bw / stages
+    )
+
+
+def pipeline_speedup(
+    model: ModelSpec,
+    kind: PipelineKind,
+    design: AdaGPDesign,
+    accelerator: AcceleratorModel | None = None,
+    config: PipelineConfig | None = None,
+    schedule: HeuristicSchedule | None = None,
+    epochs: int = 90,
+    batches_per_epoch: int = 20,
+    batch: int = 32,
+) -> float:
+    """End-to-end training speedup of ADA-GP over a pipeline baseline."""
+    accelerator = accelerator or AcceleratorModel()
+    config = config or PipelineConfig()
+    schedule = schedule or HeuristicSchedule()
+    times = model_stage_times(model, accelerator, config, design, batch)
+    phases = training_phase_sequence(schedule, epochs, batches_per_epoch)
+
+    baseline = batch_makespan(kind, config, times.tf, times.tb) * len(phases)
+    if design == AdaGPDesign.MAX:
+        # Dedicated predictor array: alpha overlaps the next micro-batch
+        # slot; only non-hideable spill (alpha exceeding a slot) remains.
+        tf_bp = times.tf + max(0.0, times.alpha_fw - times.tf)
+        tb_bp = times.tb + max(0.0, times.alpha_bw - times.tb)
+        tf_gp = times.tf + max(0.0, times.alpha_fw - times.tf)
+    else:
+        tf_bp = times.tf + times.alpha_fw
+        tb_bp = times.tb + times.alpha_bw
+        tf_gp = times.tf + times.alpha_fw
+    ada = sequence_makespan(kind, config, phases, tf_bp, tb_bp, tf_gp=tf_gp)
+    return baseline / ada

@@ -1,0 +1,119 @@
+"""Pipeline-parallel schedule models: GPipe, DAPPLE, Chimera (§3.8, §6.5).
+
+The paper analyses multi-device execution in abstract *steps*: with
+``S`` pipeline stages (one per device), ``M`` micro-batches per batch,
+forward time ``tf`` and backward time ``tb`` per micro-batch per stage.
+For the canonical configuration (S=M=4, tb=2*tf) the paper quotes:
+
+* GPipe:   21 steps per batch   (validated by :mod:`.simulator`)
+* DAPPLE:  21 steps per batch   (same critical path as GPipe)
+* Chimera: 16 steps per batch   (bidirectional pipelines)
+
+and for ADA-GP's Phase-GP streams / phase transitions:
+
+* a Phase-GP batch adds only ``M*tf`` to the critical path,
+* a GP batch followed by a BP batch completes in ``M*tf + makespan``
+  (25 steps on GPipe/DAPPLE, 20 on Chimera — Figs 10c/11c/12c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from ..core.schedule import HeuristicSchedule, Phase
+
+
+class PipelineKind(str, Enum):
+    GPIPE = "GPipe"
+    DAPPLE = "DAPPLE"
+    CHIMERA = "Chimera"
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Devices and micro-batching of the multi-device setup (§6.5)."""
+
+    num_stages: int = 4
+    micro_batches: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_stages < 2:
+            raise ValueError("need at least 2 pipeline stages")
+        if self.micro_batches < 1:
+            raise ValueError("need at least 1 micro-batch")
+
+
+def batch_makespan(
+    kind: PipelineKind, config: PipelineConfig, tf: float, tb: float
+) -> float:
+    """Steps to train ONE batch with synchronous flush (baseline BP)."""
+    if tf <= 0 or tb <= 0:
+        raise ValueError("tf and tb must be positive")
+    stages, micro = config.num_stages, config.micro_batches
+    if kind in (PipelineKind.GPIPE, PipelineKind.DAPPLE):
+        # Classic synchronous-pipeline critical path; DAPPLE's 1F1B
+        # reordering reduces memory, not the critical path.
+        return (stages + micro - 1) * (tf + tb)
+    if kind == PipelineKind.CHIMERA:
+        if stages % 2 != 0 or micro % 2 != 0:
+            raise ValueError("Chimera needs even stages and micro-batches")
+        busy = micro * (tf + tb)  # each device hosts both directions
+        bubble = (stages // 2 - 1) * (tf + tb) + tf
+        return busy + bubble
+    raise ValueError(f"unknown pipeline kind {kind}")
+
+
+def gp_batch_increment(config: PipelineConfig, tf: float) -> float:
+    """Critical-path contribution of one Phase-GP batch in a stream.
+
+    With backprop eliminated, consecutive batches stream through the
+    pipeline with no flush: each batch occupies every device for exactly
+    ``M`` forward slots (Figs 10b/11b/12b show the gap-free grids).
+    """
+    return config.micro_batches * tf
+
+
+def gp_drain(config: PipelineConfig, tf: float) -> float:
+    """Pipeline drain paid when a GP stream ends the training sequence."""
+    return (config.num_stages - 1) * tf
+
+
+def sequence_makespan(
+    kind: PipelineKind,
+    config: PipelineConfig,
+    phases: Sequence[Phase],
+    tf: float,
+    tb: float,
+    tf_gp: float | None = None,
+) -> float:
+    """Critical path of a phase-labelled batch sequence.
+
+    ``tf``/``tb`` apply to BP (and warm-up) batches — callers fold any
+    predictor overhead (alpha) in; ``tf_gp`` (default ``tf``) applies to
+    GP batches.  A GP batch followed by a BP batch overlaps its drain
+    with the BP fill (paper: 25 steps for the GPipe pair), hence the
+    drain is only charged when the sequence *ends* in GP.
+    """
+    tf_gp = tf if tf_gp is None else tf_gp
+    total = 0.0
+    for phase in phases:
+        if phase == Phase.GP:
+            total += gp_batch_increment(config, tf_gp)
+        else:
+            total += batch_makespan(kind, config, tf, tb)
+    if phases and phases[-1] == Phase.GP:
+        total += gp_drain(config, tf_gp)
+    return total
+
+
+def training_phase_sequence(
+    schedule: HeuristicSchedule, epochs: int, batches_per_epoch: int
+) -> list[Phase]:
+    """Flat phase labels for every batch of a training run."""
+    return [
+        schedule.phase_for(epoch, batch)
+        for epoch in range(epochs)
+        for batch in range(batches_per_epoch)
+    ]

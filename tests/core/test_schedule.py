@@ -1,0 +1,117 @@
+"""Tests for the phase schedules (§3.1, §3.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AdaptiveSchedule,
+    HeuristicSchedule,
+    PAPER_RATIO_LADDER,
+    Phase,
+    phase_counts,
+)
+
+
+class TestHeuristicSchedule:
+    def test_warmup_is_all_bp(self):
+        schedule = HeuristicSchedule(warmup_epochs=3)
+        for epoch in range(3):
+            for batch in range(20):
+                assert schedule.phase_for(epoch, batch) == Phase.WARMUP
+
+    def test_paper_ladder_progression(self):
+        """4:1 for 4 epochs, 3:1 for 4, 2:1 for 4, then 1:1 forever."""
+        schedule = HeuristicSchedule(warmup_epochs=10)
+        assert schedule.ratio_for_epoch(9) is None
+        assert schedule.ratio_for_epoch(10) == (4, 1)
+        assert schedule.ratio_for_epoch(13) == (4, 1)
+        assert schedule.ratio_for_epoch(14) == (3, 1)
+        assert schedule.ratio_for_epoch(18) == (2, 1)
+        assert schedule.ratio_for_epoch(22) == (1, 1)
+        assert schedule.ratio_for_epoch(89) == (1, 1)
+
+    def test_gp_comes_first_within_cycle(self):
+        """§3.5: 'Initially, it proceeds with Phase GP ... for k batches'."""
+        schedule = HeuristicSchedule(warmup_epochs=0)
+        phases = [schedule.phase_for(0, b) for b in range(5)]
+        assert phases == [Phase.GP] * 4 + [Phase.BP]
+
+    def test_gp_fraction(self):
+        schedule = HeuristicSchedule(warmup_epochs=1)
+        assert schedule.gp_fraction(0) == 0.0
+        assert schedule.gp_fraction(1) == pytest.approx(0.8)
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            HeuristicSchedule().ratio_for_epoch(-1)
+
+    def test_paper_training_mix_gives_47_percent_gp(self):
+        """Over 90 epochs with L=10 the GP share is ~47.6%, which is what
+        makes the headline ~1.47x speedup arithmetic work."""
+        schedule = HeuristicSchedule(warmup_epochs=10)
+        counts = phase_counts(schedule, 90, 100)
+        total = sum(counts.values())
+        gp_share = counts[Phase.GP] / total
+        assert 0.45 < gp_share < 0.50
+
+    @given(
+        warmup=st.integers(0, 5),
+        epochs=st.integers(1, 30),
+        batches=st.integers(1, 40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_counts_partition_all_batches(self, warmup, epochs, batches):
+        schedule = HeuristicSchedule(warmup_epochs=warmup)
+        counts = phase_counts(schedule, epochs, batches)
+        assert sum(counts.values()) == epochs * batches
+
+    @given(epoch=st.integers(0, 40), batch=st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_ratio_holds_within_every_cycle(self, epoch, batch):
+        schedule = HeuristicSchedule(warmup_epochs=2)
+        ratio = schedule.ratio_for_epoch(epoch)
+        if ratio is None:
+            assert schedule.phase_for(epoch, batch) == Phase.WARMUP
+            return
+        k, m = ratio
+        phase = schedule.phase_for(epoch, batch)
+        expected = Phase.GP if (batch % (k + m)) < k else Phase.BP
+        assert phase == expected
+
+
+class TestAdaptiveSchedule:
+    def test_warmup_respected(self):
+        schedule = AdaptiveSchedule(warmup_epochs=2)
+        assert schedule.phase_for(0, 0) == Phase.WARMUP
+        assert schedule.phase_for(1, 5) == Phase.WARMUP
+
+    def test_good_predictor_earns_more_gp(self):
+        schedule = AdaptiveSchedule(warmup_epochs=0)
+        schedule.observe_mape(0.5)
+        assert schedule.ratio_for_epoch(1) == (4, 1)
+
+    def test_bad_predictor_falls_back_to_one_to_one(self):
+        schedule = AdaptiveSchedule(warmup_epochs=0)
+        for _ in range(10):
+            schedule.observe_mape(80.0)
+        assert schedule.ratio_for_epoch(1) == (1, 1)
+
+    def test_smoothing_blends_observations(self):
+        schedule = AdaptiveSchedule(warmup_epochs=0)
+        schedule.observe_mape(100.0)
+        for _ in range(30):
+            schedule.observe_mape(1.0)
+        assert schedule.ratio_for_epoch(1) == (4, 1)
+
+    def test_mismatched_ratios_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveSchedule(thresholds=(1.0,), ratios=((4, 1),))
+
+    def test_gp_fraction_before_observation_uses_worst_ratio(self):
+        schedule = AdaptiveSchedule(warmup_epochs=0)
+        assert schedule.gp_fraction(0) == pytest.approx(0.5)
+
+
+def test_paper_ladder_constant_matches_paper():
+    assert PAPER_RATIO_LADDER == ((4, (4, 1)), (4, (3, 1)), (4, (2, 1)))

@@ -1,0 +1,42 @@
+"""Shared test utilities: numerical gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def numerical_gradient(
+    loss_fn: Callable[[], float], array: np.ndarray, eps: float = 1e-3
+) -> np.ndarray:
+    """Central-difference gradient of ``loss_fn`` w.r.t. ``array`` in place."""
+    grad = np.zeros(array.shape, dtype=np.float64)
+    iterator = np.nditer(array, flags=["multi_index"])
+    for _ in iterator:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        plus = loss_fn()
+        array[index] = original - eps
+        minus = loss_fn()
+        array[index] = original
+        grad[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def max_relative_error(analytic: np.ndarray, numeric: np.ndarray) -> float:
+    """Max abs error normalized by the numeric gradient's scale."""
+    scale = np.abs(numeric).max()
+    if scale == 0:
+        return float(np.abs(analytic).max())
+    return float(np.abs(analytic - numeric).max() / scale)
+
+
+def linear_probe_loss(module, x: np.ndarray, probe: np.ndarray):
+    """A linear loss ``sum(output * probe)`` — non-degenerate for every layer."""
+
+    def loss() -> float:
+        return float((module.forward(x) * probe).sum())
+
+    return loss

@@ -1,0 +1,141 @@
+"""Tests for Linear, Conv2d, Flatten, Sequential — including gradchecks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+from tests.helpers import linear_probe_loss, max_relative_error, numerical_gradient
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = nn.Linear(5, 3, rng=np.random.default_rng(0))
+        out = layer(RNG.standard_normal((4, 5)).astype(np.float32))
+        assert out.shape == (4, 3)
+
+    def test_forward_matches_manual(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        x = RNG.standard_normal((2, 3)).astype(np.float32)
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(x), expected, rtol=1e-6)
+
+    def test_sequence_input(self):
+        layer = nn.Linear(4, 6, rng=np.random.default_rng(0))
+        x = RNG.standard_normal((2, 7, 4)).astype(np.float32)
+        assert layer(x).shape == (2, 7, 6)
+
+    def test_backward_gradcheck(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(1))
+        x = RNG.standard_normal((5, 4)).astype(np.float32)
+        probe = RNG.standard_normal((5, 3)).astype(np.float32)
+        layer.forward(x)
+        grad_in = layer.backward(probe)
+        loss = linear_probe_loss(layer, x, probe)
+        assert max_relative_error(layer.weight.grad, numerical_gradient(loss, layer.weight.data)) < 1e-2
+        assert max_relative_error(grad_in, numerical_gradient(loss, x)) < 1e-2
+
+    def test_sequence_backward_gradcheck(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(2))
+        x = RNG.standard_normal((2, 4, 3)).astype(np.float32)
+        probe = RNG.standard_normal((2, 4, 2)).astype(np.float32)
+        layer.forward(x)
+        grad_in = layer.backward(probe)
+        loss = linear_probe_loss(layer, x, probe)
+        assert max_relative_error(grad_in, numerical_gradient(loss, x)) < 1e-2
+
+    def test_rejects_wrong_width(self):
+        layer = nn.Linear(4, 3)
+        with pytest.raises(ValueError):
+            layer(np.zeros((2, 5), dtype=np.float32))
+
+    def test_predictable_interface(self):
+        layer = nn.Linear(4, 3)
+        assert layer.output_units() == 3
+        assert layer.gradient_size() == 5  # 4 weights + bias
+        assert nn.Linear(4, 3, bias=False).gradient_size() == 4
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_backward_gradcheck(self, stride, padding):
+        conv = nn.Conv2d(2, 3, 3, stride=stride, padding=padding,
+                         rng=np.random.default_rng(3))
+        x = RNG.standard_normal((2, 2, 7, 7)).astype(np.float32)
+        out = conv.forward(x)
+        probe = RNG.standard_normal(out.shape).astype(np.float32)
+        conv.zero_grad()
+        conv.forward(x)
+        grad_in = conv.backward(probe)
+        loss = linear_probe_loss(conv, x, probe)
+        assert max_relative_error(conv.weight.grad, numerical_gradient(loss, conv.weight.data)) < 2e-2
+        assert max_relative_error(conv.bias.grad, numerical_gradient(loss, conv.bias.data)) < 2e-2
+        assert max_relative_error(grad_in, numerical_gradient(loss, x)) < 2e-2
+
+    def test_output_shape(self):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        out = conv(RNG.standard_normal((2, 3, 16, 16)).astype(np.float32))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_rejects_wrong_channels(self):
+        conv = nn.Conv2d(3, 8, 3)
+        with pytest.raises(ValueError):
+            conv(np.zeros((1, 4, 8, 8), dtype=np.float32))
+
+    def test_gradient_accumulates_across_backwards(self):
+        conv = nn.Conv2d(1, 1, 3, rng=np.random.default_rng(4))
+        x = RNG.standard_normal((1, 1, 5, 5)).astype(np.float32)
+        out = conv.forward(x)
+        conv.backward(np.ones_like(out))
+        first = conv.weight.grad.copy()
+        conv.forward(x)
+        conv.backward(np.ones_like(out))
+        np.testing.assert_allclose(conv.weight.grad, 2 * first, rtol=1e-5)
+
+    def test_predictable_interface(self):
+        conv = nn.Conv2d(8, 16, 3)
+        assert conv.output_units() == 16
+        assert conv.gradient_size() == 8 * 9 + 1
+
+
+class TestFlattenSequential:
+    def test_flatten_round_trip(self):
+        flat = nn.Flatten()
+        x = RNG.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        out = flat(x)
+        assert out.shape == (2, 48)
+        assert flat.backward(out).shape == x.shape
+
+    def test_sequential_composes_forward_and_backward(self):
+        rng = np.random.default_rng(5)
+        seq = nn.Sequential(
+            nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng)
+        )
+        x = RNG.standard_normal((3, 4)).astype(np.float32)
+        out = seq.forward(x)
+        probe = RNG.standard_normal(out.shape).astype(np.float32)
+        seq.forward(x)
+        grad_in = seq.backward(probe)
+        loss = linear_probe_loss(seq, x, probe)
+        assert max_relative_error(grad_in, numerical_gradient(loss, x)) < 1e-2
+
+    def test_sequential_indexing(self):
+        seq = nn.Sequential(nn.ReLU(), nn.Flatten())
+        assert len(seq) == 2
+        assert isinstance(seq[0], nn.ReLU)
+        assert [type(m).__name__ for m in seq] == ["ReLU", "Flatten"]
+
+    def test_identity_passthrough(self):
+        layer = nn.Identity()
+        x = RNG.standard_normal((2, 2)).astype(np.float32)
+        np.testing.assert_array_equal(layer(x), x)
+        np.testing.assert_array_equal(layer.backward(x), x)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            nn.Flatten().backward(np.zeros((1, 4), dtype=np.float32))
+        with pytest.raises(RuntimeError):
+            nn.Linear(2, 2).backward(np.zeros((1, 2), dtype=np.float32))

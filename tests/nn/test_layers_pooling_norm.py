@@ -1,0 +1,180 @@
+"""Tests for pooling and normalization layers, with gradchecks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from tests.helpers import linear_probe_loss, max_relative_error, numerical_gradient
+
+RNG = np.random.default_rng(7)
+
+
+class TestMaxPool:
+    def test_forward_matches_naive(self):
+        x = RNG.standard_normal((1, 1, 4, 4)).astype(np.float32)
+        out = nn.MaxPool2d(2)(x)
+        expected = np.array(
+            [[x[0, 0, i : i + 2, j : j + 2].max() for j in (0, 2)] for i in (0, 2)]
+        )
+        np.testing.assert_allclose(out[0, 0], expected)
+
+    def test_backward_routes_to_argmax(self):
+        pool = nn.MaxPool2d(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32)
+        pool.forward(x)
+        grad = pool.backward(np.array([[[[5.0]]]], dtype=np.float32))
+        np.testing.assert_array_equal(grad, [[[[0, 0], [0, 5.0]]]])
+
+    def test_gradcheck(self):
+        pool = nn.MaxPool2d(2, stride=2)
+        x = RNG.standard_normal((2, 2, 6, 6)).astype(np.float32)
+        out = pool.forward(x)
+        probe = RNG.standard_normal(out.shape).astype(np.float32)
+        pool.forward(x)
+        grad_in = pool.backward(probe)
+        loss = linear_probe_loss(pool, x, probe)
+        assert max_relative_error(grad_in, numerical_gradient(loss, x)) < 1e-2
+
+    def test_all_negative_window_with_padding(self):
+        """Padded zeros must not beat real negative values."""
+        pool = nn.MaxPool2d(3, stride=1, padding=1)
+        x = -np.ones((1, 1, 3, 3), dtype=np.float32)
+        out = pool(x)
+        assert (out <= 0).all()
+
+
+class TestAvgPool:
+    def test_forward_is_mean(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = nn.AvgPool2d(2)(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_gradcheck(self):
+        pool = nn.AvgPool2d(2)
+        x = RNG.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        out = pool.forward(x)
+        probe = RNG.standard_normal(out.shape).astype(np.float32)
+        pool.forward(x)
+        grad_in = pool.backward(probe)
+        loss = linear_probe_loss(pool, x, probe)
+        assert max_relative_error(grad_in, numerical_gradient(loss, x)) < 1e-2
+
+
+class TestGlobalAndAdaptivePool:
+    def test_global_equals_mean(self):
+        x = RNG.standard_normal((2, 3, 5, 5)).astype(np.float32)
+        np.testing.assert_allclose(
+            nn.GlobalAvgPool2d()(x), x.mean(axis=(2, 3)), rtol=1e-6
+        )
+
+    def test_global_gradcheck(self):
+        pool = nn.GlobalAvgPool2d()
+        x = RNG.standard_normal((2, 2, 3, 3)).astype(np.float32)
+        probe = RNG.standard_normal((2, 2)).astype(np.float32)
+        pool.forward(x)
+        grad_in = pool.backward(probe)
+        loss = linear_probe_loss(pool, x, probe)
+        assert max_relative_error(grad_in, numerical_gradient(loss, x)) < 1e-2
+
+    def test_adaptive_gradcheck(self):
+        pool = nn.AdaptiveAvgPool2d(3)
+        x = RNG.standard_normal((1, 2, 7, 5)).astype(np.float32)
+        out = pool.forward(x)
+        assert out.shape == (1, 2, 3, 3)
+        probe = RNG.standard_normal(out.shape).astype(np.float32)
+        pool.forward(x)
+        grad_in = pool.backward(probe)
+        loss = linear_probe_loss(pool, x, probe)
+        assert max_relative_error(grad_in, numerical_gradient(loss, x)) < 1e-2
+
+
+class TestBatchNorm2d:
+    def test_normalizes_in_train_mode(self):
+        bn = nn.BatchNorm2d(3)
+        x = RNG.standard_normal((8, 3, 4, 4)).astype(np.float32) * 5 + 2
+        out = bn(x)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1, atol=1e-2)
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm2d(2)
+        x = RNG.standard_normal((16, 2, 4, 4)).astype(np.float32)
+        for _ in range(50):
+            bn(x)
+        bn.eval()
+        out_eval = bn(x)
+        bn.train()
+        out_train = bn(x)
+        np.testing.assert_allclose(out_eval, out_train, atol=0.2)
+
+    def test_gradcheck_with_affine(self):
+        bn = nn.BatchNorm2d(2)
+        bn.weight.data = RNG.standard_normal(2).astype(np.float32)
+        bn.bias.data = RNG.standard_normal(2).astype(np.float32)
+        x = RNG.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        probe = RNG.standard_normal(x.shape).astype(np.float32)
+        bn.forward(x)
+        grad_in = bn.backward(probe)
+        loss = linear_probe_loss(bn, x, probe)
+        assert max_relative_error(grad_in, numerical_gradient(loss, x)) < 2e-2
+        bn.zero_grad()
+        bn.forward(x)
+        bn.backward(probe)
+        assert max_relative_error(bn.weight.grad, numerical_gradient(loss, bn.weight.data)) < 2e-2
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(3)(np.zeros((2, 4, 3, 3), dtype=np.float32))
+
+
+class TestBatchNorm1dLayerNorm:
+    def test_bn1d_gradcheck(self):
+        bn = nn.BatchNorm1d(4)
+        bn.weight.data = RNG.standard_normal(4).astype(np.float32)
+        x = RNG.standard_normal((6, 4)).astype(np.float32)
+        probe = RNG.standard_normal(x.shape).astype(np.float32)
+        bn.forward(x)
+        grad_in = bn.backward(probe)
+        loss = linear_probe_loss(bn, x, probe)
+        assert max_relative_error(grad_in, numerical_gradient(loss, x)) < 2e-2
+
+    def test_layernorm_normalizes_last_dim(self):
+        ln = nn.LayerNorm(8)
+        x = RNG.standard_normal((2, 3, 8)).astype(np.float32) * 3 + 1
+        out = ln(x)
+        np.testing.assert_allclose(out.mean(axis=-1), 0, atol=1e-4)
+
+    def test_layernorm_gradcheck(self):
+        ln = nn.LayerNorm(5)
+        ln.weight.data = RNG.standard_normal(5).astype(np.float32)
+        x = RNG.standard_normal((3, 4, 5)).astype(np.float32)
+        probe = RNG.standard_normal(x.shape).astype(np.float32)
+        ln.forward(x)
+        grad_in = ln.backward(probe)
+        loss = linear_probe_loss(ln, x, probe)
+        assert max_relative_error(grad_in, numerical_gradient(loss, x)) < 2e-2
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        drop = nn.Dropout(0.5)
+        drop.eval()
+        x = RNG.standard_normal((4, 4)).astype(np.float32)
+        np.testing.assert_array_equal(drop(x), x)
+
+    def test_train_mode_preserves_expectation(self):
+        drop = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((200, 200), dtype=np.float32)
+        out = drop(x)
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_backward_uses_same_mask(self):
+        drop = nn.Dropout(0.5, rng=np.random.default_rng(1))
+        x = np.ones((10, 10), dtype=np.float32)
+        out = drop(x)
+        grad = drop.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad, out)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)

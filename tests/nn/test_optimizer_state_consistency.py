@@ -1,0 +1,89 @@
+"""Phase-GP's key optimizer property: per-parameter stepping must agree
+with whole-model stepping, and mixing the two must keep state coherent.
+
+ADA-GP interleaves whole-model steps (Phase BP) with immediate per-layer
+``apply_gradient`` updates (Phase GP) on the *same* optimizer; if the two
+paths maintained momentum/Adam state differently, training would diverge
+in ways that have nothing to do with gradient prediction.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.module import Parameter
+from repro.nn.optim import Adam, SGD
+
+
+def _params(values):
+    return [Parameter(np.array([v], dtype=np.float32)) for v in values]
+
+
+class TestStepEquivalence:
+    @given(
+        grads=st.lists(st.floats(-2, 2), min_size=3, max_size=3),
+        lr=st.floats(0.01, 0.5),
+        momentum=st.floats(0.0, 0.95),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sgd_step_equals_per_param_steps(self, grads, lr, momentum):
+        a = _params([1.0, 2.0, 3.0])
+        b = _params([1.0, 2.0, 3.0])
+        opt_a = SGD(a, lr=lr, momentum=momentum)
+        opt_b = SGD(b, lr=lr, momentum=momentum)
+        for p, g in zip(a, grads):
+            p.grad = np.array([g], dtype=np.float32)
+        for p, g in zip(b, grads):
+            p.grad = np.array([g], dtype=np.float32)
+        opt_a.step()
+        for p in b:
+            opt_b.step_param(p)
+        for pa, pb in zip(a, b):
+            np.testing.assert_allclose(pa.data, pb.data, rtol=1e-6)
+
+    @given(
+        sequence=st.lists(st.floats(-1, 1), min_size=2, max_size=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_apply_gradient_equals_grad_then_step(self, sequence):
+        """apply_gradient(g) == (grad=g; step()) for every step of a run."""
+        a = _params([0.5])[0]
+        b = _params([0.5])[0]
+        opt_a = SGD([a], lr=0.1, momentum=0.9)
+        opt_b = SGD([b], lr=0.1, momentum=0.9)
+        for g in sequence:
+            opt_a.apply_gradient(a, np.array([g], dtype=np.float32))
+            b.grad = np.array([g], dtype=np.float32)
+            opt_b.step()
+        np.testing.assert_allclose(a.data, b.data, rtol=1e-6)
+
+    def test_adam_mixed_paths_keep_time_step_coherent(self):
+        """Alternating step()/apply_gradient must advance Adam's t once
+        per update, not double-count."""
+        p = _params([0.0])[0]
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        opt.apply_gradient(p, np.array([1.0], dtype=np.float32))
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        assert opt._t[id(p)] == 3
+
+    def test_interleaved_phases_match_pure_sequence(self):
+        """A BP-step / GP-apply / BP-step run equals the same gradient
+        sequence applied purely through step()."""
+        gradients = [0.3, -0.7, 0.2]
+        a = _params([1.0])[0]
+        opt_a = SGD([a], lr=0.05, momentum=0.9)
+        a.grad = np.array([gradients[0]], dtype=np.float32)
+        opt_a.step()
+        opt_a.apply_gradient(a, np.array([gradients[1]], dtype=np.float32))
+        a.grad = np.array([gradients[2]], dtype=np.float32)
+        opt_a.step()
+
+        b = _params([1.0])[0]
+        opt_b = SGD([b], lr=0.05, momentum=0.9)
+        for g in gradients:
+            b.grad = np.array([g], dtype=np.float32)
+            opt_b.step()
+        np.testing.assert_allclose(a.data, b.data, rtol=1e-6)

@@ -1,0 +1,177 @@
+"""Tests for the pipeline schedules, simulator, and ADA-GP overlays.
+
+The anchor assertions are the paper's quoted step counts for 4 devices,
+4 micro-batches, BW = 2x FW: GPipe 21, DAPPLE 21, Chimera 16 per batch;
+GP batches add M*tf; GP->BP pairs take 25 / 25 / 20 steps.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import AcceleratorModel, AdaGPDesign
+from repro.core import HeuristicSchedule, Phase
+from repro.models import spec_for
+from repro.pipeline import (
+    PipelineConfig,
+    PipelineKind,
+    batch_makespan,
+    gp_batch_increment,
+    model_stage_times,
+    pipeline_speedup,
+    sequence_makespan,
+    simulate_chimera,
+    simulate_dapple,
+    simulate_gp_stream,
+    simulate_gp_then_bp,
+    simulate_gpipe,
+    training_phase_sequence,
+)
+
+CFG = PipelineConfig(num_stages=4, micro_batches=4)
+
+
+class TestPaperStepCounts:
+    def test_gpipe_21_steps(self):
+        assert simulate_gpipe(CFG, 1, 2).makespan == 21
+        assert batch_makespan(PipelineKind.GPIPE, CFG, 1, 2) == 21
+
+    def test_dapple_21_steps(self):
+        assert simulate_dapple(CFG, 1, 2).makespan == 21
+        assert batch_makespan(PipelineKind.DAPPLE, CFG, 1, 2) == 21
+
+    def test_chimera_16_steps(self):
+        assert simulate_chimera(CFG, 1, 2).makespan == 16
+        assert batch_makespan(PipelineKind.CHIMERA, CFG, 1, 2) == 16
+
+    def test_gp_stream_packs_batches(self):
+        """N streamed GP batches: (S-1) fill + N*M slots (Fig 10b)."""
+        assert simulate_gp_stream(CFG, 1).makespan == 7
+        assert simulate_gp_stream(CFG, 2).makespan == 11
+        assert simulate_gp_stream(CFG, 3).makespan == 15
+
+    def test_transition_pairs(self):
+        """Fig 10c / 11c / 12c: 25, 25 and 20 steps for two batches."""
+        assert simulate_gp_then_bp(PipelineKind.GPIPE, CFG).makespan == 25
+        assert simulate_gp_then_bp(PipelineKind.DAPPLE, CFG).makespan == 25
+        assert simulate_gp_then_bp(PipelineKind.CHIMERA, CFG).makespan == 20
+
+
+class TestSimulatorValidity:
+    @pytest.mark.parametrize(
+        "sim", [simulate_gpipe, simulate_dapple, simulate_chimera]
+    )
+    def test_no_device_overlap(self, sim):
+        timeline = sim(CFG, 1, 2)
+        timeline.validate()  # raises on overlap
+
+    def test_gpipe_dependencies_hold(self):
+        timeline = simulate_gpipe(CFG, 1, 2)
+        fw_end = {}
+        for task in timeline.tasks:
+            if task.kind == "fw":
+                fw_end[(task.stage, task.micro_batch)] = task.end
+        for task in timeline.tasks:
+            if task.kind == "fw" and task.stage > 0:
+                assert task.start >= fw_end[(task.stage - 1, task.micro_batch)]
+
+    def test_chimera_work_is_conserved(self):
+        """Every device runs M forwards and M backwards."""
+        timeline = simulate_chimera(CFG, 1, 2)
+        for device in range(4):
+            tasks = timeline.device_tasks(device)
+            assert sum(1 for t in tasks if t.kind == "fw") == 4
+            assert sum(1 for t in tasks if t.kind == "bw") == 4
+
+    def test_chimera_requires_even_sizes(self):
+        with pytest.raises(ValueError):
+            simulate_chimera(PipelineConfig(3, 4))
+
+    @given(
+        stages=st.integers(2, 6),
+        micro=st.integers(1, 8),
+        tf=st.floats(0.5, 3.0),
+        tb=st.floats(0.5, 6.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gpipe_formula_matches_simulation(self, stages, micro, tf, tb):
+        cfg = PipelineConfig(stages, micro)
+        sim = simulate_gpipe(cfg, tf, tb).makespan
+        formula = batch_makespan(PipelineKind.GPIPE, cfg, tf, tb)
+        assert sim == pytest.approx(formula, rel=1e-9)
+
+    @given(stages=st.integers(2, 6), micro=st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_dapple_never_slower_than_gpipe(self, stages, micro):
+        cfg = PipelineConfig(stages, micro)
+        assert (
+            simulate_dapple(cfg, 1, 2).makespan
+            <= simulate_gpipe(cfg, 1, 2).makespan + 1e-9
+        )
+
+
+class TestSequenceMakespan:
+    def test_gp_then_bp_matches_paper(self):
+        phases = [Phase.GP, Phase.BP]
+        assert sequence_makespan(PipelineKind.GPIPE, CFG, phases, 1, 2) == 25
+        assert sequence_makespan(PipelineKind.CHIMERA, CFG, phases, 1, 2) == 20
+
+    def test_trailing_gp_pays_drain(self):
+        phases = [Phase.BP, Phase.GP]
+        assert sequence_makespan(PipelineKind.GPIPE, CFG, phases, 1, 2) == 21 + 4 + 3
+
+    def test_all_gp_stream(self):
+        phases = [Phase.GP] * 5
+        assert sequence_makespan(PipelineKind.GPIPE, CFG, phases, 1, 2) == 5 * 4 + 3
+
+    def test_warmup_counts_as_bp(self):
+        phases = [Phase.WARMUP, Phase.WARMUP]
+        assert sequence_makespan(PipelineKind.GPIPE, CFG, phases, 1, 2) == 42
+
+    def test_training_phase_sequence_layout(self):
+        schedule = HeuristicSchedule(warmup_epochs=1, ladder=((1, (2, 1)),))
+        phases = training_phase_sequence(schedule, 2, 3)
+        assert phases == [
+            Phase.WARMUP, Phase.WARMUP, Phase.WARMUP,
+            Phase.GP, Phase.GP, Phase.BP,
+        ]
+
+
+class TestPipelineSpeedups:
+    def test_fig20_magnitudes(self):
+        """Paper: ~1.654x avg over GPipe/DAPPLE, ~1.575x over Chimera."""
+        spec = spec_for("ResNet50", "ImageNet")
+        gpipe = pipeline_speedup(
+            spec, PipelineKind.GPIPE, AdaGPDesign.MAX,
+            epochs=90, batches_per_epoch=10,
+        )
+        chimera = pipeline_speedup(
+            spec, PipelineKind.CHIMERA, AdaGPDesign.MAX,
+            epochs=90, batches_per_epoch=10,
+        )
+        assert 1.5 < gpipe < 1.75
+        assert 1.4 < chimera < gpipe
+
+    def test_design_ordering(self):
+        spec = spec_for("VGG13", "ImageNet")
+        values = [
+            pipeline_speedup(
+                spec, PipelineKind.GPIPE, design, epochs=30, batches_per_epoch=10
+            )
+            for design in (AdaGPDesign.LOW, AdaGPDesign.EFFICIENT, AdaGPDesign.MAX)
+        ]
+        assert values[0] <= values[1] <= values[2]
+
+    def test_stage_times_scale_with_model(self):
+        accelerator = AcceleratorModel()
+        small = model_stage_times(
+            spec_for("MobileNet-V2", "Cifar10"), accelerator, CFG, AdaGPDesign.MAX
+        )
+        large = model_stage_times(
+            spec_for("VGG16", "ImageNet"), accelerator, CFG, AdaGPDesign.MAX
+        )
+        assert large.tf > small.tf
+        assert large.tb > large.tf  # backward dominates forward
+
+    def test_gp_increment_formula(self):
+        assert gp_batch_increment(CFG, 2.0) == 8.0

@@ -1,0 +1,95 @@
+"""Documentation consistency + cross-module property tests."""
+
+import pathlib
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import AcceleratorConfig, AcceleratorModel, AdaGPDesign
+from repro.core import HeuristicSchedule
+from repro.models import CLASSIFICATION_MODELS, spec_for
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDocs:
+    @pytest.mark.parametrize("name", ["README.md", "DESIGN.md", "EXPERIMENTS.md"])
+    def test_top_level_docs_exist(self, name):
+        assert (REPO / name).stat().st_size > 1000
+
+    def test_design_md_experiment_index_points_at_real_modules(self):
+        text = (REPO / "DESIGN.md").read_text()
+        for module in re.findall(r"experiments\.(\w+)", text):
+            assert (REPO / "src" / "repro" / "experiments" / f"{module}.py").exists(), module
+
+    def test_design_md_bench_targets_exist(self):
+        text = (REPO / "DESIGN.md").read_text()
+        for bench in re.findall(r"benchmarks/(bench_\w+\.py)", text):
+            assert (REPO / "benchmarks" / bench).exists(), bench
+
+    def test_readme_examples_exist(self):
+        text = (REPO / "README.md").read_text()
+        for example in re.findall(r"examples/(\w+\.py)", text):
+            assert (REPO / "examples" / example).exists(), example
+
+    def test_every_source_module_has_a_docstring(self):
+        import ast
+
+        missing = []
+        for path in (REPO / "src").rglob("*.py"):
+            tree = ast.parse(path.read_text())
+            if ast.get_docstring(tree) is None and path.stat().st_size > 0:
+                missing.append(str(path))
+        assert missing == []
+
+
+class TestCrossModuleInvariants:
+    @given(
+        model=st.sampled_from(CLASSIFICATION_MODELS),
+        batch=st.sampled_from([1, 8, 32, 128]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_gp_batch_never_dearer_than_bp_batch(self, model, batch):
+        """Skipping backward must help for every model at every batch."""
+        accelerator = AcceleratorModel()
+        spec = spec_for(model, "Cifar10")
+        for design in AdaGPDesign:
+            gp = accelerator.phase_gp_batch(spec, batch, design).cycles
+            bp = accelerator.phase_bp_batch(spec, batch, design).cycles
+            assert gp < bp
+
+    @given(rows=st.integers(4, 32), cols=st.integers(4, 32))
+    @settings(max_examples=10, deadline=None)
+    def test_bigger_arrays_never_slow_the_baseline(self, rows, cols):
+        spec = spec_for("VGG13", "Cifar10")
+        small = AcceleratorModel(AcceleratorConfig(rows=rows, cols=cols))
+        big = AcceleratorModel(AcceleratorConfig(rows=rows * 2, cols=cols * 2))
+        assert (
+            big.baseline_batch(spec, 8).cycles
+            <= small.baseline_batch(spec, 8).cycles
+        )
+
+    @given(warmup=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_speedup_monotone_in_warmup(self, warmup):
+        """More warm-up epochs can only reduce the end-to-end speedup."""
+        accelerator = AcceleratorModel()
+        spec = spec_for("ResNet50", "Cifar10")
+        shorter = accelerator.speedup(
+            spec, AdaGPDesign.MAX, HeuristicSchedule(warmup_epochs=warmup), 40, 10
+        )
+        longer = accelerator.speedup(
+            spec, AdaGPDesign.MAX, HeuristicSchedule(warmup_epochs=warmup + 5), 40, 10
+        )
+        assert longer <= shorter + 1e-9
+
+    def test_traffic_components_nonnegative_for_all_models(self):
+        accelerator = AcceleratorModel()
+        for name in CLASSIFICATION_MODELS:
+            spec = spec_for(name, "Cifar10")
+            cost = accelerator.phase_gp_batch(spec, 8, AdaGPDesign.LOW)
+            assert cost.traffic.dram_read > 0
+            assert cost.traffic.dram_write > 0
+            assert cost.traffic.sram > 0

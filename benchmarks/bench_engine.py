@@ -1,0 +1,140 @@
+"""Bench: TrainingEngine throughput and the batched predictor fast path.
+
+Two measurements seed the perf trajectory of the engine refactor:
+
+1. **Batched vs per-layer predictor updates** — the BP-phase hot path.
+   ``GradientPredictor.train_step_many`` stacks all layers' pooled
+   activations into one trunk forward/backward; on a ResNet-style spec
+   (18 predictable layers) it must be >= 1.5x faster than the
+   sequential per-layer loop it replaced (typically ~2.4x here).
+2. **BP-phase vs GP-phase batches/sec** through the engine — Phase GP
+   skips the whole backward pass, so its software rate must beat the
+   BP-phase rate even in NumPy, mirroring the accelerator-model claim.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_engine.py -q
+"""
+
+import time
+
+import numpy as np
+
+from repro import nn
+from repro.core import (
+    GradientPredictor,
+    HeuristicSchedule,
+    Phase,
+    ThroughputTimer,
+    adagp_engine,
+)
+from repro.data import synthetic_images
+from repro.models import build_mini
+from repro.nn.losses import CrossEntropyLoss
+
+MIN_BATCHED_SPEEDUP = 1.5
+
+
+def _resnet_entries(seed=0):
+    """(layer, activation, weight_grad, bias_grad) from one real backprop
+    batch of the ResNet50 mini — the predictor's actual training input."""
+    model = build_mini("ResNet50", 10, rng=np.random.default_rng(seed + 1))
+    layers = nn.predictable_layers(model)
+    activations = {}
+
+    def hook(layer, output):
+        activations[id(layer)] = output
+
+    for layer in layers:
+        layer.forward_hook = hook
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((16, 3, 16, 16)).astype(np.float32)
+    y = rng.integers(0, 10, 16)
+    try:
+        outputs = model(x)
+    finally:
+        for layer in layers:
+            layer.forward_hook = None
+    _, grad = CrossEntropyLoss()(outputs, y)
+    model.zero_grad()
+    model.backward(grad)
+    entries = [
+        (
+            layer,
+            activations[id(layer)],
+            layer.weight.grad,
+            layer.bias.grad if layer.bias is not None else None,
+        )
+        for layer in layers
+    ]
+    return model, entries
+
+
+def test_bench_batched_predictor_fast_path(benchmark):
+    model, entries = _resnet_entries()
+    sequential = GradientPredictor.for_model(model, rng=np.random.default_rng(5))
+    batched = GradientPredictor.for_model(model, rng=np.random.default_rng(5))
+    layers = [e[0] for e in entries]
+    outputs = [e[1] for e in entries]
+    w_grads = [e[2] for e in entries]
+    b_grads = [e[3] for e in entries]
+
+    def run_sequential():
+        for layer, output, w_grad, b_grad in entries:
+            sequential.train_step(layer, output, w_grad, b_grad)
+
+    def run_batched():
+        batched.train_step_many(layers, outputs, w_grads, b_grads)
+
+    # Warm both paths (scale estimates, BLAS planning) before timing.
+    run_sequential()
+    run_batched()
+    rounds = 15
+    start = time.perf_counter()
+    for _ in range(rounds):
+        run_sequential()
+    sequential_s = (time.perf_counter() - start) / rounds
+
+    benchmark.pedantic(run_batched, rounds=rounds, iterations=1)
+    batched_s = benchmark.stats.stats.mean
+
+    speedup = sequential_s / batched_s
+    benchmark.extra_info["num_layers"] = len(entries)
+    benchmark.extra_info["sequential_ms"] = sequential_s * 1e3
+    benchmark.extra_info["batched_ms"] = batched_s * 1e3
+    benchmark.extra_info["speedup"] = speedup
+    print(
+        f"\npredictor update, {len(entries)} ResNet50-mini layers: "
+        f"sequential {sequential_s * 1e3:.2f} ms, batched {batched_s * 1e3:.2f} ms "
+        f"({speedup:.2f}x)"
+    )
+    assert speedup >= MIN_BATCHED_SPEEDUP
+
+
+def test_bench_engine_phase_rates(benchmark):
+    """Batches/sec for BP-phase vs GP-phase batches through the engine."""
+    split = synthetic_images(10, 96, 32, image_size=16, seed=0)
+    timer = ThroughputTimer()
+    engine = adagp_engine(
+        build_mini("ResNet50", 10, rng=np.random.default_rng(1)),
+        CrossEntropyLoss(),
+        lr=0.05,
+        schedule=HeuristicSchedule(warmup_epochs=1, ladder=((8, (2, 1)),)),
+        callbacks=(timer,),
+    )
+
+    def run():
+        return engine.fit(
+            lambda: split.train.batches(16, rng=np.random.default_rng(2)),
+            lambda: split.val.batches(32, shuffle=False),
+            epochs=4,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    bp_rate = timer.batches_per_second(Phase.BP) + 0.0
+    warmup_rate = timer.batches_per_second(Phase.WARMUP)
+    gp_rate = timer.batches_per_second(Phase.GP)
+    benchmark.extra_info["bp_batches_per_s"] = bp_rate
+    benchmark.extra_info["warmup_batches_per_s"] = warmup_rate
+    benchmark.extra_info["gp_batches_per_s"] = gp_rate
+    print(f"\n{timer.summary()}")
+    # Skipping backward must pay off in software too.
+    assert gp_rate > bp_rate

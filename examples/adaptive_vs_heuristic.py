@@ -12,9 +12,9 @@ Run:  python examples/adaptive_vs_heuristic.py
 import numpy as np
 
 from repro.core import (
-    AdaGPTrainer,
     AdaptiveSchedule,
     HeuristicSchedule,
+    adagp_engine,
 )
 from repro.data import preset_split
 from repro.experiments.formats import format_table
@@ -24,11 +24,11 @@ from repro.nn.losses import CrossEntropyLoss, accuracy
 
 def run(schedule, split, epochs: int = 20):
     model = build_mini("VGG13", 10, rng=np.random.default_rng(1))
-    trainer = AdaGPTrainer(
+    engine = adagp_engine(
         model, CrossEntropyLoss(), lr=0.02, metric_fn=accuracy,
         schedule=schedule,
     )
-    history = trainer.fit(
+    history = engine.fit(
         lambda: split.train.batches(32, rng=np.random.default_rng(2)),
         lambda: split.val.batches(64, shuffle=False),
         epochs=epochs,

@@ -9,7 +9,7 @@ Run:  python examples/object_detection.py
 
 import numpy as np
 
-from repro.core import AdaGPTrainer, BPTrainer, HeuristicSchedule
+from repro.core import HeuristicSchedule, adagp_engine, bp_engine
 from repro.core.metrics import detection_class_accuracy, mean_average_precision
 from repro.data import CLASS_NAMES, synthetic_detection
 from repro.models import MiniYolo, YoloLoss, decode_predictions
@@ -22,15 +22,15 @@ def train(use_adagp: bool, train_set, val_set, epochs: int = 60):
     )
     loss = YoloLoss()
     if use_adagp:
-        trainer = AdaGPTrainer(
+        engine = adagp_engine(
             model, loss, lr=0.01,
             schedule=HeuristicSchedule(
                 warmup_epochs=14, ladder=((6, (4, 1)), (6, (3, 1)), (6, (2, 1)))
             ),
         )
     else:
-        trainer = BPTrainer(model, loss, lr=0.01)
-    trainer.fit(
+        engine = bp_engine(model, loss, lr=0.01)
+    engine.fit(
         lambda: train_set.batches(16, shuffle=True, seed=2),
         lambda: val_set.batches(64, shuffle=False),
         epochs=epochs,

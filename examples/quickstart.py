@@ -3,8 +3,10 @@
 This is the smallest end-to-end tour of the library:
 
 1. build a synthetic CIFAR10-like dataset,
-2. train a VGG13-mini twice — plain backprop (the paper's baseline) and
-   ADA-GP (warm-up, then alternating Phase BP / Phase GP),
+2. train a VGG13-mini twice through the unified ``TrainingEngine`` —
+   plain backprop (the paper's baseline) and ADA-GP (warm-up, then
+   alternating Phase BP / Phase GP), with a ``ThroughputTimer`` callback
+   measuring software batches/sec per phase,
 3. report the accuracy comparison (paper Table 1's claim) plus how many
    backward passes ADA-GP skipped, and
 4. estimate the wall-clock effect on the paper's 180-PE accelerator.
@@ -15,7 +17,13 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro.accel import AcceleratorModel, AdaGPDesign
-from repro.core import AdaGPTrainer, BPTrainer, HeuristicSchedule
+from repro.core import (
+    HeuristicSchedule,
+    Phase,
+    ThroughputTimer,
+    adagp_engine,
+    bp_engine,
+)
 from repro.data import preset_split
 from repro.models import build_mini, spec_for
 from repro.nn.losses import CrossEntropyLoss, accuracy
@@ -27,10 +35,9 @@ def main() -> None:
 
     print("== Training VGG13-mini with plain backprop (baseline) ==")
     bp_model = build_mini("VGG13", 10, rng=np.random.default_rng(1))
-    bp_trainer = BPTrainer(
+    bp_history = bp_engine(
         bp_model, CrossEntropyLoss(), lr=0.02, metric_fn=accuracy
-    )
-    bp_history = bp_trainer.fit(
+    ).fit(
         lambda: split.train.batches(32, rng=np.random.default_rng(2)),
         lambda: split.val.batches(64, shuffle=False),
         epochs=epochs,
@@ -43,12 +50,12 @@ def main() -> None:
     schedule = HeuristicSchedule(
         warmup_epochs=6, ladder=((3, (4, 1)), (3, (3, 1)), (3, (2, 1)))
     )
+    timer = ThroughputTimer()
     ada_model = build_mini("VGG13", 10, rng=np.random.default_rng(1))
-    ada_trainer = AdaGPTrainer(
+    ada_history = adagp_engine(
         ada_model, CrossEntropyLoss(), lr=0.02, metric_fn=accuracy,
-        schedule=schedule,
-    )
-    ada_history = ada_trainer.fit(
+        schedule=schedule, callbacks=(timer,),
+    ).fit(
         lambda: split.train.batches(32, rng=np.random.default_rng(2)),
         lambda: split.val.batches(64, shuffle=False),
         epochs=epochs,
@@ -59,6 +66,12 @@ def main() -> None:
     print(
         f"Backward passes skipped: {skipped}/{total} batches "
         f"({100 * skipped / total:.0f}%)"
+    )
+    gp_rate = timer.batches_per_second(Phase.GP)
+    bp_rate = timer.batches_per_second(Phase.BP)
+    print(
+        f"Measured throughput: {gp_rate:.1f} GP vs {bp_rate:.1f} BP batches/s "
+        f"({gp_rate / bp_rate:.2f}x in NumPy, no accelerator)"
     )
 
     print("\n== What that buys on the paper's accelerator ==")

@@ -10,7 +10,7 @@ Run:  python examples/transformer_translation.py  (takes a few minutes)
 
 import numpy as np
 
-from repro.core import AdaGPTrainer, BPTrainer, HeuristicSchedule
+from repro.core import HeuristicSchedule, adagp_engine, bp_engine
 from repro.data.translation import (
     BOS_ID,
     EOS_ID,
@@ -35,18 +35,18 @@ def train(use_adagp: bool, train_set, val_set, epochs: int):
     loss = CrossEntropyLoss(ignore_index=PAD_ID)
     optimizer = Adam(model.parameters(), lr=2e-3)
     if use_adagp:
-        trainer = AdaGPTrainer(
+        engine = adagp_engine(
             model, loss, optimizer=optimizer,
             gp_optimizer=SGD(model.parameters(), lr=2e-3, momentum=0.9),
             metric_fn=_token_accuracy, plateau_scheduler=False,
             schedule=HeuristicSchedule(warmup_epochs=10),
         )
     else:
-        trainer = BPTrainer(
+        engine = bp_engine(
             model, loss, optimizer=optimizer, metric_fn=_token_accuracy,
             plateau_scheduler=False,
         )
-    history = trainer.fit(
+    history = engine.fit(
         lambda: _seq_batches(train_set, 32, 2),
         lambda: _seq_batches(val_set, 64, 3),
         epochs=epochs,

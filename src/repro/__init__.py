@@ -12,7 +12,8 @@ Package map
                       datasets (offline stand-ins, DESIGN.md §2).
 ``repro.core``        The paper's contribution: gradient predictor,
                       tensor reorganization, phase schedules, and the
-                      ADA-GP / BP trainers.
+                      unified ``TrainingEngine`` (phase strategies +
+                      callbacks) behind the ADA-GP / BP / DNI trainers.
 ``repro.accel``       Systolic accelerator simulator: cycles under four
                       dataflows, DRAM/SRAM traffic, energy, FPGA/ASIC
                       area & power.
@@ -28,9 +29,14 @@ from .core import (
     AdaGPTrainer,
     AdaptiveSchedule,
     BPTrainer,
+    DNITrainer,
     GradientPredictor,
     HeuristicSchedule,
     Phase,
+    TrainingEngine,
+    adagp_engine,
+    bp_engine,
+    dni_engine,
 )
 from .models import build_mini, spec_for
 from .pipeline import PipelineConfig, PipelineKind, pipeline_speedup
@@ -52,9 +58,14 @@ __all__ = [
     "AdaGPTrainer",
     "AdaptiveSchedule",
     "BPTrainer",
+    "DNITrainer",
     "GradientPredictor",
     "HeuristicSchedule",
     "Phase",
+    "TrainingEngine",
+    "bp_engine",
+    "adagp_engine",
+    "dni_engine",
     "build_mini",
     "spec_for",
     "PipelineConfig",

@@ -1,4 +1,4 @@
-"""ADA-GP core: predictor, reorganization, schedules, trainers, metrics."""
+"""ADA-GP core: predictor, reorganization, schedules, engine, trainers."""
 
 from . import metrics, reorganize
 from .history import History
@@ -10,6 +10,24 @@ from .schedule import (
     PAPER_RATIO_LADDER,
     Phase,
     phase_counts,
+)
+from .engine import (
+    BackpropStrategy,
+    BatchResult,
+    Callback,
+    CallbackList,
+    Checkpointing,
+    DNIStrategy,
+    EarlyStopping,
+    EpochStats,
+    GradPredictStrategy,
+    LambdaCallback,
+    PhaseStrategy,
+    ThroughputTimer,
+    TrainingEngine,
+    adagp_engine,
+    bp_engine,
+    dni_engine,
 )
 from .dni import DNITrainer, dni_batch_cost_ratio
 from .trainer import AdaGPTrainer, BPTrainer
@@ -26,6 +44,22 @@ __all__ = [
     "PAPER_RATIO_LADDER",
     "Phase",
     "phase_counts",
+    "TrainingEngine",
+    "EpochStats",
+    "PhaseStrategy",
+    "BackpropStrategy",
+    "GradPredictStrategy",
+    "DNIStrategy",
+    "BatchResult",
+    "Callback",
+    "CallbackList",
+    "LambdaCallback",
+    "EarlyStopping",
+    "Checkpointing",
+    "ThroughputTimer",
+    "bp_engine",
+    "adagp_engine",
+    "dni_engine",
     "AdaGPTrainer",
     "BPTrainer",
     "DNITrainer",

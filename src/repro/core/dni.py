@@ -10,22 +10,25 @@ ADA-GP in the two ways the paper leans on:
 2. ADA-GP instead alternates: predictions are applied only in Phase GP
    batches where backprop is skipped entirely.
 
-This implementation reuses the ADA-GP predictor machinery so the two
-schemes differ only in scheduling, making the cost comparison
-apples-to-apples: :func:`dni_batch_cost_ratio` shows DNI's per-batch
-cost is strictly above plain BP while ADA-GP's training mix is below.
+Under the unified engine the two schemes differ only in strategy wiring
+— DNI runs :class:`~repro.core.engine.DNIStrategy` on every batch where
+ADA-GP alternates Backprop/GradPredict strategies — making the cost
+comparison apples-to-apples: :func:`dni_batch_cost_ratio` shows DNI's
+per-batch cost is strictly above plain BP while ADA-GP's training mix is
+below.  ``DNITrainer`` is the compatibility shim over
+:func:`~repro.core.engine.dni_engine`.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
-from .. import nn
-from ..nn.module import Module
+from ..nn.module import Module, PredictableMixin
 from ..nn.optim import Optimizer
+from .engine import dni_engine
+from .engine.strategies import DNIStrategy
 from .predictor import GradientPredictor
+from .schedule import Phase
 from .trainer import BPTrainer, LossFn, MetricFn
 
 
@@ -49,53 +52,31 @@ class DNITrainer(BPTrainer):
         synthetic_lr_scale: float = 0.1,
         metric_fn: Optional[MetricFn] = None,
     ) -> None:
-        super().__init__(model, loss_fn, optimizer, lr, metric_fn)
-        self.predictor = predictor or GradientPredictor.for_model(
-            model, lr=predictor_lr
+        # Deliberately no super().__init__: the engine carries all state.
+        self.engine = dni_engine(
+            model,
+            loss_fn,
+            optimizer=optimizer,
+            predictor=predictor,
+            lr=lr,
+            predictor_lr=predictor_lr,
+            synthetic_lr_scale=synthetic_lr_scale,
+            metric_fn=metric_fn,
         )
-        self.layers = nn.predictable_layers(model)
-        if not self.layers:
-            raise ValueError("model has no predictable layers for DNI")
-        self.synthetic_lr_scale = synthetic_lr_scale
-        self._activations: dict[int, np.ndarray] = {}
 
-    def train_batch(self, inputs, targets) -> float:
-        self.model.train()
-        self._activations.clear()
+    @property
+    def predictor(self) -> GradientPredictor:
+        return self.engine.predictor
 
-        def hook(layer: Module, output: np.ndarray) -> None:
-            # DNI's decoupled update: apply the synthetic gradient the
-            # moment the layer's forward completes...
-            self._activations[id(layer)] = output
-            weight_grad, bias_grad = self.predictor.predict(layer, output)
-            self.optimizer.apply_gradient(
-                layer.weight, self.synthetic_lr_scale * weight_grad
-            )
-            if layer.bias is not None and bias_grad is not None:
-                self.optimizer.apply_gradient(
-                    layer.bias, self.synthetic_lr_scale * bias_grad
-                )
+    @property
+    def layers(self) -> list[PredictableMixin]:
+        return self.engine.layers
 
-        for layer in self.layers:
-            layer.forward_hook = hook
-        try:
-            outputs = self.model(inputs)
-        finally:
-            for layer in self.layers:
-                layer.forward_hook = None
-        # ...and then backpropagation still runs in full (the paper's
-        # §2 point: DNI keeps the backward pass).
-        loss, grad = self.loss_fn(outputs, targets)
-        self.optimizer.zero_grad()
-        self.model.backward(grad)
-        self.optimizer.step()
-        for layer in self.layers:
-            output = self._activations.get(id(layer))
-            if output is None or layer.weight.grad is None:
-                continue
-            bias_grad = layer.bias.grad if layer.bias is not None else None
-            self.predictor.train_step(layer, output, layer.weight.grad, bias_grad)
-        return loss
+    @property
+    def synthetic_lr_scale(self) -> float:
+        strategy = self.engine.strategy_for(Phase.BP)
+        assert isinstance(strategy, DNIStrategy)
+        return strategy.synthetic_lr_scale
 
 
 def dni_batch_cost_ratio(model_spec, accelerator, batch: int = 32) -> float:

@@ -1,0 +1,59 @@
+"""Pluggable training engine: one loop, phase strategies, callbacks.
+
+See :mod:`repro.core.engine.engine` for the loop,
+:mod:`repro.core.engine.strategies` for the per-batch phase strategies,
+:mod:`repro.core.engine.events` for the callback system and
+:mod:`repro.core.engine.factories` for the preconfigured BP / ADA-GP /
+DNI engines.
+"""
+
+from .checkpoint import (
+    engine_state,
+    load_checkpoint,
+    load_engine_state,
+    load_optimizer_state,
+    optimizer_state,
+    save_checkpoint,
+)
+from .engine import EpochStats, TrainingEngine
+from .events import (
+    Callback,
+    CallbackList,
+    Checkpointing,
+    EarlyStopping,
+    LambdaCallback,
+    ThroughputTimer,
+)
+from .factories import adagp_engine, bp_engine, dni_engine
+from .strategies import (
+    BackpropStrategy,
+    BatchResult,
+    DNIStrategy,
+    GradPredictStrategy,
+    PhaseStrategy,
+)
+
+__all__ = [
+    "TrainingEngine",
+    "EpochStats",
+    "PhaseStrategy",
+    "BackpropStrategy",
+    "GradPredictStrategy",
+    "DNIStrategy",
+    "BatchResult",
+    "Callback",
+    "CallbackList",
+    "LambdaCallback",
+    "EarlyStopping",
+    "Checkpointing",
+    "ThroughputTimer",
+    "bp_engine",
+    "adagp_engine",
+    "dni_engine",
+    "engine_state",
+    "load_engine_state",
+    "optimizer_state",
+    "load_optimizer_state",
+    "save_checkpoint",
+    "load_checkpoint",
+]

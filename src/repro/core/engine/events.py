@@ -1,0 +1,307 @@
+"""Event/callback system for the :class:`~repro.core.engine.TrainingEngine`.
+
+The engine fires a fixed set of events while it runs the fit loop:
+
+``on_fit_begin``    once, before the first epoch
+``on_epoch_begin``  before each training epoch
+``on_batch_begin``  before each training batch (phase already resolved)
+``on_batch_end``    after each training batch (with its ``BatchResult``)
+``on_epoch_end``    after validation, LR stepping and History recording
+``on_fit_end``      once, after the last epoch (or an early stop)
+
+Cross-cutting loop concerns — checkpointing, early stopping, throughput
+measurement — are composable callbacks instead of copy-pasted loop code,
+so every trainer (BP, ADA-GP, DNI) gets them for free.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from ..schedule import Phase
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .engine import TrainingEngine
+    from .strategies import BatchResult
+
+
+class Callback:
+    """Base class: override any subset of the event hooks.
+
+    Callbacks with mutable state that must survive checkpoint/resume
+    (patience counters, accumulated timings) override
+    :meth:`state_dict` / :meth:`load_state_dict`; the engine saves and
+    restores them positionally alongside its own state.
+    """
+
+    def state_dict(self) -> dict:
+        """Resumable state; empty for stateless callbacks."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        for key, value in state.items():
+            setattr(self, key, value)
+
+    def on_fit_begin(self, engine: "TrainingEngine", epochs: int) -> None:
+        pass
+
+    def on_epoch_begin(self, engine: "TrainingEngine", epoch: int) -> None:
+        pass
+
+    def on_batch_begin(
+        self, engine: "TrainingEngine", epoch: int, batch_index: int, phase: Phase
+    ) -> None:
+        pass
+
+    def on_batch_end(
+        self,
+        engine: "TrainingEngine",
+        epoch: int,
+        batch_index: int,
+        result: "BatchResult",
+    ) -> None:
+        pass
+
+    def on_epoch_end(self, engine: "TrainingEngine", epoch: int, logs: dict) -> None:
+        pass
+
+    def on_fit_end(self, engine: "TrainingEngine") -> None:
+        pass
+
+
+class CallbackList(Callback):
+    """Fan one event out to an ordered list of callbacks."""
+
+    def __init__(self, callbacks: Iterable[Callback] = ()) -> None:
+        self.callbacks: list[Callback] = list(callbacks)
+
+    def append(self, callback: Callback) -> "CallbackList":
+        self.callbacks.append(callback)
+        return self
+
+    def __iter__(self):
+        return iter(self.callbacks)
+
+    def __len__(self) -> int:
+        return len(self.callbacks)
+
+    def on_fit_begin(self, engine, epochs):
+        for callback in self.callbacks:
+            callback.on_fit_begin(engine, epochs)
+
+    def on_epoch_begin(self, engine, epoch):
+        for callback in self.callbacks:
+            callback.on_epoch_begin(engine, epoch)
+
+    def on_batch_begin(self, engine, epoch, batch_index, phase):
+        for callback in self.callbacks:
+            callback.on_batch_begin(engine, epoch, batch_index, phase)
+
+    def on_batch_end(self, engine, epoch, batch_index, result):
+        for callback in self.callbacks:
+            callback.on_batch_end(engine, epoch, batch_index, result)
+
+    def on_epoch_end(self, engine, epoch, logs):
+        for callback in self.callbacks:
+            callback.on_epoch_end(engine, epoch, logs)
+
+    def on_fit_end(self, engine):
+        for callback in self.callbacks:
+            callback.on_fit_end(engine)
+
+
+class LambdaCallback(Callback):
+    """Inline callback built from keyword functions, for quick wiring.
+
+    Example::
+
+        LambdaCallback(on_epoch_end=lambda engine, epoch, logs: print(logs))
+    """
+
+    def __init__(
+        self,
+        on_fit_begin: Optional[Callable] = None,
+        on_epoch_begin: Optional[Callable] = None,
+        on_batch_begin: Optional[Callable] = None,
+        on_batch_end: Optional[Callable] = None,
+        on_epoch_end: Optional[Callable] = None,
+        on_fit_end: Optional[Callable] = None,
+    ) -> None:
+        self._hooks = {
+            "on_fit_begin": on_fit_begin,
+            "on_epoch_begin": on_epoch_begin,
+            "on_batch_begin": on_batch_begin,
+            "on_batch_end": on_batch_end,
+            "on_epoch_end": on_epoch_end,
+            "on_fit_end": on_fit_end,
+        }
+
+    def _fire(self, name: str, *args) -> None:
+        hook = self._hooks.get(name)
+        if hook is not None:
+            hook(*args)
+
+    def on_fit_begin(self, engine, epochs):
+        self._fire("on_fit_begin", engine, epochs)
+
+    def on_epoch_begin(self, engine, epoch):
+        self._fire("on_epoch_begin", engine, epoch)
+
+    def on_batch_begin(self, engine, epoch, batch_index, phase):
+        self._fire("on_batch_begin", engine, epoch, batch_index, phase)
+
+    def on_batch_end(self, engine, epoch, batch_index, result):
+        self._fire("on_batch_end", engine, epoch, batch_index, result)
+
+    def on_epoch_end(self, engine, epoch, logs):
+        self._fire("on_epoch_end", engine, epoch, logs)
+
+    def on_fit_end(self, engine):
+        self._fire("on_fit_end", engine)
+
+
+class EarlyStopping(Callback):
+    """Stop the fit loop when a monitored value stops improving.
+
+    ``monitor`` is a key of the epoch logs (``"val_loss"``,
+    ``"val_metric"`` or ``"train_loss"``); ``mode`` is ``"min"`` for
+    losses and ``"max"`` for metrics.
+    """
+
+    def __init__(
+        self,
+        monitor: str = "val_loss",
+        mode: str = "min",
+        patience: int = 5,
+        min_delta: float = 0.0,
+    ) -> None:
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        if patience < 0:
+            raise ValueError(f"patience must be non-negative, got {patience}")
+        self.monitor = monitor
+        self.mode = mode
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best: Optional[float] = None
+        self.num_bad_epochs = 0
+        self.stopped_epoch: Optional[int] = None
+
+    def state_dict(self) -> dict:
+        return {
+            "best": self.best,
+            "num_bad_epochs": self.num_bad_epochs,
+            "stopped_epoch": self.stopped_epoch,
+        }
+
+    def _is_better(self, value: float) -> bool:
+        if self.best is None:
+            return True
+        if self.mode == "min":
+            return value < self.best - self.min_delta
+        return value > self.best + self.min_delta
+
+    def on_fit_begin(self, engine, epochs):
+        # Fresh runs reset the counters; a checkpoint-resumed fit
+        # (current_epoch > 0) keeps the restored patience state so the
+        # resumed run reproduces the uninterrupted one.
+        if engine.current_epoch == 0:
+            self.best = None
+            self.num_bad_epochs = 0
+            self.stopped_epoch = None
+
+    def on_epoch_end(self, engine, epoch, logs):
+        value = logs.get(self.monitor)
+        if value is None:
+            raise KeyError(f"EarlyStopping monitor {self.monitor!r} not in logs")
+        if self._is_better(value):
+            self.best = value
+            self.num_bad_epochs = 0
+            return
+        self.num_bad_epochs += 1
+        if self.num_bad_epochs > self.patience:
+            self.stopped_epoch = epoch
+            engine.request_stop()
+
+
+class Checkpointing(Callback):
+    """Save the full engine state every ``every`` epochs (and at fit end).
+
+    ``path`` may contain ``{epoch}``, which formats to the 0-based epoch
+    just finished; without it the same file is overwritten, giving a
+    rolling "latest" checkpoint.  Restore with
+    :meth:`TrainingEngine.load_checkpoint`, then keep calling ``fit`` for
+    the remaining epochs — the resumed run reproduces the original
+    History exactly (see ``tests/core/test_engine.py``).
+    """
+
+    def __init__(self, path: str, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.path = str(path)
+        self.every = every
+        self.saved_paths: list[str] = []
+        self._last_saved_epoch: Optional[int] = None
+
+    def _save(self, engine: "TrainingEngine", epoch: int) -> None:
+        target = self.path.format(epoch=epoch)
+        engine.save_checkpoint(target)
+        self._last_saved_epoch = epoch
+        if target not in self.saved_paths:
+            self.saved_paths.append(target)
+
+    def on_epoch_end(self, engine, epoch, logs):
+        if (epoch + 1) % self.every == 0:
+            self._save(engine, epoch)
+
+    def on_fit_end(self, engine):
+        # Cover the `every > 1` stragglers without re-serializing the
+        # checkpoint on_epoch_end just wrote for the same epoch.
+        last_epoch = engine.current_epoch - 1
+        if last_epoch >= 0 and last_epoch != self._last_saved_epoch:
+            self._save(engine, last_epoch)
+
+
+class ThroughputTimer(Callback):
+    """Measure training throughput (batches/second) per phase.
+
+    The accelerator model predicts cycle-level speedups; this callback
+    gives the software-level counterpart: Phase-GP batches skip the whole
+    backward pass, so their measured rate should beat Phase-BP/warm-up
+    batches even in NumPy (``benchmarks/bench_engine.py``).
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.batches: dict[Phase, int] = {p: 0 for p in Phase}
+        self.seconds: dict[Phase, float] = {p: 0.0 for p in Phase}
+
+    def state_dict(self) -> dict:
+        return {"batches": dict(self.batches), "seconds": dict(self.seconds)}
+
+    def on_batch_begin(self, engine, epoch, batch_index, phase):
+        self._start = time.perf_counter()
+
+    def on_batch_end(self, engine, epoch, batch_index, result):
+        if self._start is None:
+            return
+        elapsed = time.perf_counter() - self._start
+        self._start = None
+        self.batches[result.phase] += 1
+        self.seconds[result.phase] += elapsed
+
+    def batches_per_second(self, phase: Phase) -> float:
+        if self.seconds[phase] <= 0.0:
+            return float("nan")
+        return self.batches[phase] / self.seconds[phase]
+
+    def summary(self) -> str:
+        parts = []
+        for phase in Phase:
+            if self.batches[phase]:
+                parts.append(
+                    f"{phase.value}: {self.batches_per_second(phase):.2f} batches/s "
+                    f"({self.batches[phase]} batches)"
+                )
+        return "throughput — " + ("; ".join(parts) if parts else "no batches")

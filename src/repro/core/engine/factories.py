@@ -1,0 +1,131 @@
+"""Preconfigured engines for the three training schemes of the paper.
+
+These factories are the one place that knows how to wire strategies,
+schedules, optimizers and the shared predictor into a
+:class:`TrainingEngine`; the legacy ``BPTrainer`` / ``AdaGPTrainer`` /
+``DNITrainer`` classes are thin shims over them, and the experiments use
+them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ... import nn
+from ...nn.module import Module
+from ...nn.optim import MultiStepLR, Optimizer, ReduceLROnPlateau
+from ..predictor import GradientPredictor
+from ..schedule import HeuristicSchedule, Phase
+from .engine import LossFn, MetricFn, TrainingEngine
+from .events import Callback
+from .strategies import BackpropStrategy, DNIStrategy, GradPredictStrategy
+
+
+def bp_engine(
+    model: Module,
+    loss_fn: LossFn,
+    optimizer: Optional[Optimizer] = None,
+    lr: float = 1e-3,
+    metric_fn: Optional[MetricFn] = None,
+    plateau_scheduler: bool = True,
+    callbacks: Iterable[Callback] = (),
+) -> TrainingEngine:
+    """Plain backpropagation (the paper's comparison point)."""
+    optimizer = optimizer or nn.SGD(model.parameters(), lr=lr, momentum=0.9)
+    return TrainingEngine(
+        model,
+        loss_fn,
+        optimizer,
+        strategies=BackpropStrategy(),
+        metric_fn=metric_fn,
+        lr_scheduler=ReduceLROnPlateau(optimizer) if plateau_scheduler else None,
+        callbacks=callbacks,
+    )
+
+
+def adagp_engine(
+    model: Module,
+    loss_fn: LossFn,
+    optimizer: Optional[Optimizer] = None,
+    predictor: Optional[GradientPredictor] = None,
+    schedule=None,
+    lr: float = 1e-3,
+    predictor_lr: float = 1e-4,
+    metric_fn: Optional[MetricFn] = None,
+    plateau_scheduler: bool = True,
+    predictor_milestones: tuple[int, ...] = (20, 40),
+    gp_optimizer: Optional[Optimizer] = None,
+    batched_predictor: bool = True,
+    callbacks: Iterable[Callback] = (),
+) -> TrainingEngine:
+    """ADA-GP: warm-up / Phase BP / Phase GP under a phase schedule.
+
+    ``gp_optimizer`` is the optimizer used to *apply* predicted
+    gradients in Phase GP.  The accelerator applies in-flight updates
+    with a plain MAC datapath (SGD-style, §3.7/§4.2); when the software
+    optimizer is Adam, pass an SGD instance here to mirror the hardware
+    — Adam's per-element normalization would otherwise blow small
+    predicted gradients up into full-size steps.
+
+    ``batched_predictor`` selects the stacked one-shot predictor update
+    in Phase BP (the fast path); the per-layer loop remains available
+    for exact reproduction of the pre-engine trajectories.
+    """
+    if not nn.predictable_layers(model):
+        raise ValueError("model has no predictable layers for ADA-GP")
+    optimizer = optimizer or nn.SGD(model.parameters(), lr=lr, momentum=0.9)
+    predictor = predictor or GradientPredictor.for_model(model, lr=predictor_lr)
+    bp_strategy = BackpropStrategy(train_predictor=True, batched=batched_predictor)
+    return TrainingEngine(
+        model,
+        loss_fn,
+        optimizer,
+        strategies={
+            Phase.WARMUP: bp_strategy,
+            Phase.BP: bp_strategy,
+            Phase.GP: GradPredictStrategy(),
+        },
+        schedule=schedule or HeuristicSchedule(),
+        metric_fn=metric_fn,
+        lr_scheduler=ReduceLROnPlateau(optimizer) if plateau_scheduler else None,
+        predictor=predictor,
+        gp_optimizer=gp_optimizer,
+        predictor_scheduler=MultiStepLR(
+            predictor.optimizer, milestones=list(predictor_milestones)
+        ),
+        callbacks=callbacks,
+    )
+
+
+def dni_engine(
+    model: Module,
+    loss_fn: LossFn,
+    optimizer: Optional[Optimizer] = None,
+    predictor: Optional[GradientPredictor] = None,
+    lr: float = 1e-3,
+    predictor_lr: float = 1e-4,
+    synthetic_lr_scale: float = 0.1,
+    metric_fn: Optional[MetricFn] = None,
+    plateau_scheduler: bool = True,
+    callbacks: Iterable[Callback] = (),
+) -> TrainingEngine:
+    """DNI baseline: synthetic gradients every batch + full backprop.
+
+    Differs from ADA-GP only in strategy wiring — every batch runs the
+    :class:`DNIStrategy`, there is no phase schedule and no backward
+    work is ever skipped (the paper's §2 comparison).
+    """
+    if not nn.predictable_layers(model):
+        raise ValueError("model has no predictable layers for DNI")
+    optimizer = optimizer or nn.SGD(model.parameters(), lr=lr, momentum=0.9)
+    predictor = predictor or GradientPredictor.for_model(model, lr=predictor_lr)
+    return TrainingEngine(
+        model,
+        loss_fn,
+        optimizer,
+        strategies=DNIStrategy(synthetic_lr_scale=synthetic_lr_scale),
+        metric_fn=metric_fn,
+        lr_scheduler=ReduceLROnPlateau(optimizer) if plateau_scheduler else None,
+        predictor=predictor,
+        callbacks=callbacks,
+    )

@@ -1,0 +1,251 @@
+"""Per-batch phase strategies for the :class:`TrainingEngine`.
+
+ADA-GP, its BP baseline and the DNI baseline differ only in what one
+training batch does — *when* gradient predictions are trained and
+applied (paper §2/§3).  Each variant is a :class:`PhaseStrategy`:
+
+* :class:`BackpropStrategy` — forward + backward + optimizer step; with
+  ``train_predictor=True`` it is ADA-GP's Warm-Up / Phase BP (§3.3): the
+  predictor additionally learns every predictable layer's true gradient,
+  through the batched fast path by default.
+* :class:`GradPredictStrategy` — ADA-GP's Phase GP (§3.4): backprop is
+  skipped; a forward hook applies each layer's predicted update the
+  moment that layer's forward pass completes.
+* :class:`DNIStrategy` — the §2 baseline: synthetic gradients are
+  applied during *every* forward pass and full backprop still runs
+  afterwards, so it never saves backward work.
+
+The engine selects a strategy per batch from its phase schedule; adding
+a new training scheme (a new backend, a pipelined variant, ...) is one
+new strategy class, not a fourth copy of the fit loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ...nn.module import Module
+from ..schedule import Phase
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .engine import TrainingEngine
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one training batch.
+
+    ``predictor_mse``/``predictor_mape`` map predictable-layer index to
+    that layer's prediction error for this batch (``None`` when the
+    strategy did not train the predictor).
+    """
+
+    loss: float
+    phase: Phase
+    predictor_mse: Optional[dict[int, float]] = None
+    predictor_mape: Optional[dict[int, float]] = None
+
+
+class PhaseStrategy:
+    """One way of running a training batch; bound to an engine at setup."""
+
+    def __init__(self) -> None:
+        self.engine: Optional["TrainingEngine"] = None
+
+    def bind(self, engine: "TrainingEngine") -> None:
+        self.engine = engine
+
+    def train_batch(self, inputs, targets, phase: Phase) -> BatchResult:
+        raise NotImplementedError
+
+
+class BackpropStrategy(PhaseStrategy):
+    """Standard backprop batch, optionally also training the predictor.
+
+    ``batched=True`` routes predictor training through
+    :meth:`GradientPredictor.train_step_many`, which stacks all layers'
+    reorganized activations into a single predictor forward/backward —
+    the BP-phase hot path of the paper's software loop.  ``batched=False``
+    keeps the original per-layer Python loop (one optimizer step per
+    layer); the two are numerically equivalent at the gradient level
+    (``tests/core/test_predictor_batched.py``) but follow slightly
+    different Adam trajectories, which neither the paper nor the
+    accelerator model distinguishes.
+    """
+
+    def __init__(self, train_predictor: bool = False, batched: bool = True) -> None:
+        super().__init__()
+        self.train_predictor = train_predictor
+        self.batched = batched
+        self._activations: dict[int, np.ndarray] = {}
+
+    def _install_capture_hooks(self) -> None:
+        def hook(layer: Module, output: np.ndarray) -> None:
+            self._activations[id(layer)] = output
+
+        for layer in self.engine.layers:
+            layer.forward_hook = hook
+
+    def train_batch(self, inputs, targets, phase: Phase) -> BatchResult:
+        engine = self.engine
+        engine.model.train()
+        capture = self.train_predictor and engine.predictor is not None
+        if capture:
+            self._activations.clear()
+            self._install_capture_hooks()
+        try:
+            outputs = engine.model(inputs)
+            loss, grad = engine.loss_fn(outputs, targets)
+            engine.optimizer.zero_grad()
+            engine.model.backward(grad)
+            engine.optimizer.step()
+        finally:
+            if capture:
+                engine.clear_hooks()
+        if not capture:
+            return BatchResult(loss=loss, phase=phase)
+        mse_by_layer, mape_by_layer = self._train_predictor()
+        return BatchResult(
+            loss=loss,
+            phase=phase,
+            predictor_mse=mse_by_layer,
+            predictor_mape=mape_by_layer,
+        )
+
+    def _train_predictor(self) -> tuple[dict[int, float], dict[int, float]]:
+        """One predictor update on every layer's true gradients (§3.3)."""
+        engine = self.engine
+        entries = []
+        for index, layer in enumerate(engine.layers):
+            output = self._activations.get(id(layer))
+            if output is None or layer.weight.grad is None:
+                continue
+            bias_grad = layer.bias.grad if layer.bias is not None else None
+            entries.append((index, layer, output, layer.weight.grad, bias_grad))
+        if not entries:
+            return {}, {}
+        if self.batched and len(entries) > 1:
+            metrics = engine.predictor.train_step_many(
+                [e[1] for e in entries],
+                [e[2] for e in entries],
+                [e[3] for e in entries],
+                [e[4] for e in entries],
+            )
+        else:
+            metrics = [
+                engine.predictor.train_step(layer, output, weight_grad, bias_grad)
+                for _, layer, output, weight_grad, bias_grad in entries
+            ]
+        mse_by_layer: dict[int, float] = {}
+        mape_by_layer: dict[int, float] = {}
+        for (index, *_), (mse, mape) in zip(entries, metrics):
+            mse_by_layer[index] = mse
+            mape_by_layer[index] = mape
+            if hasattr(engine.schedule, "observe_mape"):
+                engine.schedule.observe_mape(mape)
+        return mse_by_layer, mape_by_layer
+
+
+class GradPredictStrategy(PhaseStrategy):
+    """Phase GP batch: forward-only with per-layer predicted updates.
+
+    Predictions are applied by a forward hook the moment each layer's
+    forward pass completes (§3.4), through ``engine.gp_optimizer`` —
+    the plain-MAC update path the hardware implements.  The loss is
+    computed for monitoring only; no gradient ever touches
+    ``param.grad``.
+    """
+
+    def _install_predict_hooks(self) -> None:
+        engine = self.engine
+
+        def hook(layer: Module, output: np.ndarray) -> None:
+            weight_grad, bias_grad = engine.predictor.predict(layer, output)
+            engine.gp_optimizer.apply_gradient(layer.weight, weight_grad)
+            if layer.bias is not None and bias_grad is not None:
+                engine.gp_optimizer.apply_gradient(layer.bias, bias_grad)
+
+        for layer in engine.layers:
+            layer.forward_hook = hook
+
+    def train_batch(self, inputs, targets, phase: Phase) -> BatchResult:
+        engine = self.engine
+        engine.model.train()
+        self._install_predict_hooks()
+        try:
+            outputs = engine.model(inputs)
+        finally:
+            engine.clear_hooks()
+        loss, _ = engine.loss_fn(outputs, targets)  # monitoring only
+        return BatchResult(loss=loss, phase=Phase.GP)
+
+
+class DNIStrategy(PhaseStrategy):
+    """DNI batch (Jaderberg et al. 2017): synthetic updates + full BP.
+
+    Each batch applies scaled synthetic gradients layer-by-layer during
+    forward, then still runs complete backpropagation to update the
+    model with true gradients and train the predictor — strictly more
+    work than plain BP, which is the paper's §2 point ("DNI does not
+    improve training time").
+    """
+
+    def __init__(self, synthetic_lr_scale: float = 0.1) -> None:
+        super().__init__()
+        self.synthetic_lr_scale = synthetic_lr_scale
+        self._activations: dict[int, np.ndarray] = {}
+
+    def _install_dni_hooks(self) -> None:
+        engine = self.engine
+
+        def hook(layer: Module, output: np.ndarray) -> None:
+            # DNI's decoupled update: apply the synthetic gradient the
+            # moment the layer's forward completes...
+            self._activations[id(layer)] = output
+            weight_grad, bias_grad = engine.predictor.predict(layer, output)
+            engine.optimizer.apply_gradient(
+                layer.weight, self.synthetic_lr_scale * weight_grad
+            )
+            if layer.bias is not None and bias_grad is not None:
+                engine.optimizer.apply_gradient(
+                    layer.bias, self.synthetic_lr_scale * bias_grad
+                )
+
+        for layer in engine.layers:
+            layer.forward_hook = hook
+
+    def train_batch(self, inputs, targets, phase: Phase) -> BatchResult:
+        engine = self.engine
+        engine.model.train()
+        self._activations.clear()
+        self._install_dni_hooks()
+        try:
+            outputs = engine.model(inputs)
+        finally:
+            engine.clear_hooks()
+        # ...and then backpropagation still runs in full (§2).
+        loss, grad = engine.loss_fn(outputs, targets)
+        engine.optimizer.zero_grad()
+        engine.model.backward(grad)
+        engine.optimizer.step()
+        mse_by_layer: dict[int, float] = {}
+        mape_by_layer: dict[int, float] = {}
+        for index, layer in enumerate(engine.layers):
+            output = self._activations.get(id(layer))
+            if output is None or layer.weight.grad is None:
+                continue
+            bias_grad = layer.bias.grad if layer.bias is not None else None
+            mse, mape = engine.predictor.train_step(
+                layer, output, layer.weight.grad, bias_grad
+            )
+            mse_by_layer[index] = mse
+            mape_by_layer[index] = mape
+        return BatchResult(
+            loss=loss,
+            phase=phase,
+            predictor_mse=mse_by_layer,
+            predictor_mape=mape_by_layer,
+        )

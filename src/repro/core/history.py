@@ -1,4 +1,4 @@
-"""Training history records shared by the BP and ADA-GP trainers."""
+"""Training history records shared by every engine-driven trainer."""
 
 from __future__ import annotations
 
@@ -9,9 +9,19 @@ from dataclasses import dataclass, field
 class History:
     """Per-epoch training curves.
 
+    ``bp_batches``/``gp_batches`` record the *true* number of batches the
+    epoch ran in each phase: ``bp_batches`` counts true-gradient batches
+    (warm-up and Phase BP both run full backprop), ``gp_batches`` counts
+    prediction-only batches where backward was skipped.  A plain-BP run
+    records every batch in ``bp_batches`` and zeros in ``gp_batches``
+    (the engine replaced the old ``-1`` placeholder the BP trainer used
+    to append), so ``sum(gp_batches) / (sum(bp_batches) +
+    sum(gp_batches))`` is the realized GP share for any trainer.
+
     ``predictor_mape``/``predictor_mse`` hold one dict per epoch mapping
     predictable-layer index (forward order) to the epoch-mean prediction
-    error — exactly the series paper Fig 15 plots for VGG13.
+    error — exactly the series paper Fig 15 plots for VGG13.  They stay
+    empty when no predictor is attached (plain BP).
     """
 
     train_loss: list[float] = field(default_factory=list)

@@ -58,6 +58,34 @@ class PredictorNetwork(Module):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return self.net.backward(grad_out)
 
+    # ------------------------------------------------------------------
+    # Split execution for the batched multi-layer path.
+    #
+    # The front AdaptiveAvgPool2d maps every layer's reorganized
+    # activations — whatever their spatial size — onto one common shape,
+    # so pooled inputs from *different* DNN layers can be stacked along
+    # the sample axis and pushed through the parameterized trunk in a
+    # single forward/backward.  The pool has no parameters and the trunk
+    # treats samples independently, so per-sample results match the
+    # unbatched :meth:`forward` exactly.
+    # ------------------------------------------------------------------
+    def pool_front(self, x: np.ndarray) -> np.ndarray:
+        """Apply only the shape-normalizing front pool (parameter-free)."""
+        return self.net.layers[0].forward(x)
+
+    def forward_trunk(self, pooled: np.ndarray) -> np.ndarray:
+        """Run everything after the front pool on pre-pooled samples."""
+        for layer in self.net.layers[1:]:
+            pooled = layer(pooled)
+        return pooled
+
+    def backward_trunk(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backward through the trunk only; the front pool holds no
+        parameters, so trunk gradients are the complete picture."""
+        for layer in reversed(self.net.layers[1:]):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
 
 class GradientPredictor:
     """Predicts per-layer weight gradients from output activations.
@@ -117,22 +145,30 @@ class GradientPredictor:
             self._scales[key] = rms
 
     # ------------------------------------------------------------------
-    def predict_rows(self, layer: PredictableMixin, output: np.ndarray) -> np.ndarray:
-        """Raw masked prediction rows for a layer, in gradient units."""
-        units, row = reorganize.gradient_rows(layer)
+    def _check_capacity(self, layer: PredictableMixin) -> int:
+        row = layer.gradient_size()
         if row > self.network.max_row:
             raise ValueError(
                 f"layer gradient row {row} exceeds predictor capacity "
                 f"{self.network.max_row}; size the predictor with for_model()"
             )
+        return row
+
+    def _denormalize_rows(
+        self, layer: PredictableMixin, rows: np.ndarray
+    ) -> np.ndarray:
+        if not self.normalize_targets:
+            return rows
+        scale = self._scale_for(layer)
+        bound = self.clip_sigma * scale
+        return np.clip(rows * scale, -bound, bound)
+
+    def predict_rows(self, layer: PredictableMixin, output: np.ndarray) -> np.ndarray:
+        """Raw masked prediction rows for a layer, in gradient units."""
+        row = self._check_capacity(layer)
         reorganized = reorganize.reorganize_activations(layer, output)
         full = self.network(reorganized)
-        rows = full[:, :row]
-        if self.normalize_targets:
-            scale = self._scale_for(layer)
-            bound = self.clip_sigma * scale
-            rows = np.clip(rows * scale, -bound, bound)
-        return rows
+        return self._denormalize_rows(layer, full[:, :row])
 
     def predict(
         self, layer: PredictableMixin, output: np.ndarray
@@ -141,46 +177,145 @@ class GradientPredictor:
         rows = self.predict_rows(layer, output)
         return reorganize.unflatten_gradients(layer, rows)
 
+    def _stacked_forward(
+        self, layers: list[PredictableMixin], outputs: list[np.ndarray]
+    ) -> tuple[np.ndarray, list[tuple[int, int, int]]]:
+        """One trunk forward over all layers' pooled activations.
+
+        Returns the stacked FC output ``(sum(units_i), max_row)`` plus
+        per-layer ``(start, units, row)`` slices into it.
+        """
+        if len(layers) != len(outputs):
+            raise ValueError(
+                f"got {len(layers)} layers but {len(outputs)} activations"
+            )
+        if not layers:
+            raise ValueError("batched predictor call received no layers")
+        pooled: list[np.ndarray] = []
+        slices: list[tuple[int, int, int]] = []
+        start = 0
+        for layer, output in zip(layers, outputs):
+            row = self._check_capacity(layer)
+            units, _ = reorganize.gradient_rows(layer)
+            reorganized = reorganize.reorganize_activations(layer, output)
+            pooled.append(self.network.pool_front(reorganized))
+            slices.append((start, units, row))
+            start += units
+        stacked = np.concatenate(pooled, axis=0)
+        full = self.network.forward_trunk(stacked)
+        return full, slices
+
+    def predict_many(
+        self, layers: list[PredictableMixin], outputs: list[np.ndarray]
+    ) -> list[tuple[np.ndarray, Optional[np.ndarray]]]:
+        """Batched :meth:`predict` over many layers in one forward.
+
+        Numerically equivalent to calling :meth:`predict` per layer (the
+        trunk treats samples independently); one network invocation
+        instead of ``len(layers)``.
+        """
+        full, slices = self._stacked_forward(layers, outputs)
+        results = []
+        for layer, (start, units, row) in zip(layers, slices):
+            rows = self._denormalize_rows(layer, full[start : start + units, :row])
+            results.append(reorganize.unflatten_gradients(layer, rows))
+        return results
+
     # ------------------------------------------------------------------
+    def _prediction_metrics(
+        self, layer: PredictableMixin, pred_rows: np.ndarray, target_rows: np.ndarray
+    ) -> tuple[float, float]:
+        """(mse, mape) in raw gradient units (float64 avoids fp32
+        overflow on transiently exploding gradients)."""
+        scale = self._scale_for(layer) if self.normalize_targets else 1.0
+        raw_pred = pred_rows.astype(np.float64) * scale
+        target64 = target_rows.astype(np.float64)
+        mse = float(np.mean((raw_pred - target64) ** 2))
+        mape = mean_absolute_percentage_error(target64, raw_pred)
+        return mse, mape
+
+    def _loss_grad_rows(
+        self, layer: PredictableMixin, pred_rows: np.ndarray, target_rows: np.ndarray
+    ) -> np.ndarray:
+        """MSE gradient on (optionally normalized) targets."""
+        scale = self._scale_for(layer) if self.normalize_targets else 1.0
+        target_scaled = target_rows / scale if self.normalize_targets else target_rows
+        _, grad_rows = self.mse_loss(pred_rows, target_scaled.astype(np.float32))
+        return grad_rows
+
     def train_step(
         self,
         layer: PredictableMixin,
         output: np.ndarray,
         weight_grad: np.ndarray,
         bias_grad: Optional[np.ndarray],
+        apply_update: bool = True,
     ) -> tuple[float, float]:
         """One predictor update against true gradients.
 
         Returns ``(mse, mape)`` of the prediction *before* the update,
         in raw gradient units — these feed the paper's Fig 15 curves.
+        ``apply_update=False`` accumulates gradients without stepping
+        the optimizer (used by the equivalence tests).
         """
-        units, row = reorganize.gradient_rows(layer)
+        row = self._check_capacity(layer)
         target_rows = reorganize.flatten_gradients(layer, weight_grad, bias_grad)
         if self.normalize_targets:
             self._update_scale(layer, target_rows)
-        scale = self._scale_for(layer) if self.normalize_targets else 1.0
         reorganized = reorganize.reorganize_activations(layer, output)
         full = self.network(reorganized)
         pred_rows = full[:, :row]
-        # Metrics in raw gradient units (float64 avoids fp32 overflow on
-        # transiently exploding gradients).
-        raw_pred = (
-            pred_rows.astype(np.float64) * scale
-            if self.normalize_targets
-            else pred_rows.astype(np.float64)
-        )
-        target64 = target_rows.astype(np.float64)
-        mse = float(np.mean((raw_pred - target64) ** 2))
-        mape = mean_absolute_percentage_error(target64, raw_pred)
-        # Loss on (optionally normalized) targets, masked to `row` columns.
-        target_scaled = target_rows / scale if self.normalize_targets else target_rows
-        _, grad_rows = self.mse_loss(pred_rows, target_scaled.astype(np.float32))
+        mse, mape = self._prediction_metrics(layer, pred_rows, target_rows)
         grad_full = np.zeros_like(full)
-        grad_full[:, :row] = grad_rows
+        grad_full[:, :row] = self._loss_grad_rows(layer, pred_rows, target_rows)
         self.network.zero_grad()
         self.network.backward(grad_full)
-        self.optimizer.step()
+        if apply_update:
+            self.optimizer.step()
         return mse, mape
+
+    def train_step_many(
+        self,
+        layers: list[PredictableMixin],
+        outputs: list[np.ndarray],
+        weight_grads: list[np.ndarray],
+        bias_grads: list[Optional[np.ndarray]],
+        apply_update: bool = True,
+    ) -> list[tuple[float, float]]:
+        """Batched :meth:`train_step`: one forward/backward/step for all
+        layers of a batch instead of a per-layer Python loop.
+
+        All layers' pooled activations are stacked into one trunk pass;
+        the backward gradient is the per-layer MSE gradients laid into
+        their slices, so the accumulated parameter gradient equals the
+        *sum* of the per-layer gradients at the current weights (see
+        ``tests/core/test_predictor_batched.py``).  The single combined
+        Adam step replaces ``len(layers)`` sequential steps — same
+        gradient signal, one optimizer trajectory; Fig-15 metrics are
+        still reported per layer, *before* the update.
+        """
+        target_rows_list = []
+        for layer, weight_grad, bias_grad in zip(layers, weight_grads, bias_grads):
+            target_rows = reorganize.flatten_gradients(layer, weight_grad, bias_grad)
+            if self.normalize_targets:
+                self._update_scale(layer, target_rows)
+            target_rows_list.append(target_rows)
+        full, slices = self._stacked_forward(layers, outputs)
+        grad_full = np.zeros_like(full)
+        metrics: list[tuple[float, float]] = []
+        for layer, target_rows, (start, units, row) in zip(
+            layers, target_rows_list, slices
+        ):
+            pred_rows = full[start : start + units, :row]
+            metrics.append(self._prediction_metrics(layer, pred_rows, target_rows))
+            grad_full[start : start + units, :row] = self._loss_grad_rows(
+                layer, pred_rows, target_rows
+            )
+        self.network.zero_grad()
+        self.network.backward_trunk(grad_full)
+        if apply_update:
+            self.optimizer.step()
+        return metrics
 
     # ------------------------------------------------------------------
     def num_parameters(self) -> int:

@@ -1,39 +1,39 @@
-"""BP baseline trainer and the ADA-GP trainer (paper §3).
+"""BP baseline trainer and the ADA-GP trainer (paper §3) — engine shims.
 
-Both trainers consume any :class:`~repro.nn.Module` whose ``forward``
-takes the batch inputs (an array, or a tuple for multi-input models like
-the seq2seq Transformer) and whose ``backward`` accepts the loss
-gradient.  Loss functions return ``(loss_value, grad_wrt_outputs)``.
+Historically this module carried three hand-rolled copies of the
+train/eval/fit loop; the loop now lives once in
+:class:`~repro.core.engine.TrainingEngine` with per-batch behavior
+factored into :mod:`~repro.core.engine.strategies`.  ``BPTrainer`` and
+``AdaGPTrainer`` remain as thin compatibility shims with their original
+constructor signatures and ``fit()`` semantics, delegating everything to
+an engine built by :func:`~repro.core.engine.bp_engine` /
+:func:`~repro.core.engine.adagp_engine`.  New code should use the engine
+API directly (callbacks, checkpointing and early stopping come with it).
 
-The ADA-GP trainer implements the three phases:
+The ADA-GP phases (unchanged semantics):
 
 * **Warm Up / Phase BP** — standard backprop updates the model; the
   predictor additionally trains on every predictable layer's true
-  gradients (its predictions are computed but *not* applied, §3.3).
+  gradients (§3.3), through the batched fast path by default.
 * **Phase GP** — backprop is skipped; a forward hook updates each
   predictable layer with predicted gradients the moment that layer's
-  forward pass completes (§3.4), mirroring the per-layer immediacy the
-  hardware designs exploit.
+  forward pass completes (§3.4).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Iterable, Optional
+from typing import Iterable, Optional
 
-import numpy as np
-
-from .. import nn
 from ..nn.module import Module, PredictableMixin
-from ..nn.optim import Optimizer, ReduceLROnPlateau, MultiStepLR
+from ..nn.optim import Optimizer
+from .engine import TrainingEngine, adagp_engine, bp_engine
+from .engine.engine import Batch, BatchesFn, LossFn, MetricFn
 from .history import History
 from .predictor import GradientPredictor
 from .schedule import HeuristicSchedule, Phase
 
-Batch = tuple  # (inputs, targets)
-LossFn = Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]]
-MetricFn = Callable[[np.ndarray, np.ndarray], float]
-BatchesFn = Callable[[], Iterable[Batch]]
+__all__ = ["BPTrainer", "AdaGPTrainer", "Batch", "LossFn", "MetricFn", "BatchesFn"]
 
 
 class BPTrainer:
@@ -48,63 +48,58 @@ class BPTrainer:
         metric_fn: Optional[MetricFn] = None,
         plateau_scheduler: bool = True,
     ) -> None:
-        self.model = model
-        self.loss_fn = loss_fn
-        self.optimizer = optimizer or nn.SGD(model.parameters(), lr=lr, momentum=0.9)
-        self.metric_fn = metric_fn
-        self.scheduler = (
-            ReduceLROnPlateau(self.optimizer) if plateau_scheduler else None
+        self.engine: TrainingEngine = bp_engine(
+            model,
+            loss_fn,
+            optimizer=optimizer,
+            lr=lr,
+            metric_fn=metric_fn,
+            plateau_scheduler=plateau_scheduler,
         )
-        self.history = History()
+
+    # -- engine attribute passthroughs ---------------------------------
+    @property
+    def model(self) -> Module:
+        return self.engine.model
+
+    @property
+    def loss_fn(self) -> LossFn:
+        return self.engine.loss_fn
+
+    @property
+    def optimizer(self) -> Optimizer:
+        return self.engine.optimizer
+
+    @property
+    def metric_fn(self) -> Optional[MetricFn]:
+        return self.engine.metric_fn
+
+    @property
+    def scheduler(self):
+        return self.engine.lr_scheduler
+
+    @property
+    def history(self) -> History:
+        return self.engine.history
 
     # ------------------------------------------------------------------
     def train_batch(self, inputs, targets) -> float:
         """One forward + backward + optimizer step; returns the loss."""
-        self.model.train()
-        outputs = self.model(inputs)
-        loss, grad = self.loss_fn(outputs, targets)
-        self.optimizer.zero_grad()
-        self.model.backward(grad)
-        self.optimizer.step()
-        return loss
+        return self.engine.train_batch(inputs, targets).loss
 
     def train_epoch(self, batches: Iterable[Batch]) -> float:
         """Train over an iterable of batches; returns the mean loss."""
-        losses = [self.train_batch(inputs, targets) for inputs, targets in batches]
-        if not losses:
-            raise ValueError("train_epoch received no batches")
-        return float(np.mean(losses))
+        return self.engine.train_epoch(batches).loss
 
     def evaluate(self, batches: Iterable[Batch]) -> tuple[float, float]:
         """Mean (loss, metric) over validation batches."""
-        self.model.eval()
-        losses: list[float] = []
-        metrics: list[float] = []
-        for inputs, targets in batches:
-            outputs = self.model(inputs)
-            loss, _ = self.loss_fn(outputs, targets)
-            losses.append(loss)
-            if self.metric_fn is not None:
-                metrics.append(self.metric_fn(outputs, targets))
-        self.model.train()
-        mean_metric = float(np.mean(metrics)) if metrics else float("nan")
-        return float(np.mean(losses)), mean_metric
+        return self.engine.evaluate(batches)
 
     def fit(
         self, train_batches: BatchesFn, val_batches: BatchesFn, epochs: int
     ) -> History:
         """Run the full train/validate loop and record History."""
-        for _epoch in range(epochs):
-            train_loss = self.train_epoch(train_batches())
-            val_loss, val_metric = self.evaluate(val_batches())
-            if self.scheduler is not None:
-                self.scheduler.step(val_loss)
-            self.history.train_loss.append(train_loss)
-            self.history.val_loss.append(val_loss)
-            self.history.val_metric.append(val_metric)
-            self.history.bp_batches.append(-1)
-            self.history.gp_batches.append(0)
-        return self.history
+        return self.engine.fit(train_batches, val_batches, epochs)
 
 
 class AdaGPTrainer:
@@ -123,63 +118,71 @@ class AdaGPTrainer:
         plateau_scheduler: bool = True,
         predictor_milestones: tuple[int, ...] = (20, 40),
         gp_optimizer: Optional[Optimizer] = None,
+        batched_predictor: bool = True,
     ) -> None:
-        self.model = model
-        self.loss_fn = loss_fn
-        self.optimizer = optimizer or nn.SGD(model.parameters(), lr=lr, momentum=0.9)
-        self.predictor = predictor or GradientPredictor.for_model(
-            model, lr=predictor_lr
+        self.engine: TrainingEngine = adagp_engine(
+            model,
+            loss_fn,
+            optimizer=optimizer,
+            predictor=predictor,
+            schedule=schedule,
+            lr=lr,
+            predictor_lr=predictor_lr,
+            metric_fn=metric_fn,
+            plateau_scheduler=plateau_scheduler,
+            predictor_milestones=predictor_milestones,
+            gp_optimizer=gp_optimizer,
+            batched_predictor=batched_predictor,
         )
-        # Optimizer used to *apply* predicted gradients in Phase GP.  The
-        # accelerator applies in-flight updates with a plain MAC datapath
-        # (SGD-style, §3.7/§4.2); when the software optimizer is Adam,
-        # pass an SGD instance here to mirror the hardware — Adam's
-        # per-element normalization would otherwise blow small predicted
-        # gradients up into full-size steps.
-        self.gp_optimizer = gp_optimizer or self.optimizer
-        self.schedule = schedule or HeuristicSchedule()
-        self.metric_fn = metric_fn
-        self.scheduler = (
-            ReduceLROnPlateau(self.optimizer) if plateau_scheduler else None
-        )
-        self.predictor_scheduler = MultiStepLR(
-            self.predictor.optimizer, milestones=list(predictor_milestones)
-        )
-        self.layers: list[PredictableMixin] = nn.predictable_layers(model)
-        if not self.layers:
-            raise ValueError("model has no predictable layers for ADA-GP")
-        self._layer_index = {id(layer): i for i, layer in enumerate(self.layers)}
-        self._activations: dict[int, np.ndarray] = {}
-        self.history = History()
-        self.current_epoch = 0
 
-    # ------------------------------------------------------------------
-    # Hooks.
-    # ------------------------------------------------------------------
-    def _install_bp_hooks(self) -> None:
-        """Phase BP: capture each layer's output for predictor training."""
+    # -- engine attribute passthroughs ---------------------------------
+    @property
+    def model(self) -> Module:
+        return self.engine.model
 
-        def hook(layer: Module, output: np.ndarray) -> None:
-            self._activations[id(layer)] = output
+    @property
+    def loss_fn(self) -> LossFn:
+        return self.engine.loss_fn
 
-        for layer in self.layers:
-            layer.forward_hook = hook
+    @property
+    def optimizer(self) -> Optimizer:
+        return self.engine.optimizer
 
-    def _install_gp_hooks(self) -> None:
-        """Phase GP: predict + apply the update as forward proceeds (§3.4)."""
+    @property
+    def gp_optimizer(self) -> Optimizer:
+        return self.engine.gp_optimizer
 
-        def hook(layer: Module, output: np.ndarray) -> None:
-            weight_grad, bias_grad = self.predictor.predict(layer, output)
-            self.gp_optimizer.apply_gradient(layer.weight, weight_grad)
-            if layer.bias is not None and bias_grad is not None:
-                self.gp_optimizer.apply_gradient(layer.bias, bias_grad)
+    @property
+    def predictor(self) -> GradientPredictor:
+        return self.engine.predictor
 
-        for layer in self.layers:
-            layer.forward_hook = hook
+    @property
+    def schedule(self):
+        return self.engine.schedule
 
-    def _remove_hooks(self) -> None:
-        for layer in self.layers:
-            layer.forward_hook = None
+    @property
+    def metric_fn(self) -> Optional[MetricFn]:
+        return self.engine.metric_fn
+
+    @property
+    def scheduler(self):
+        return self.engine.lr_scheduler
+
+    @property
+    def predictor_scheduler(self):
+        return self.engine.predictor_scheduler
+
+    @property
+    def layers(self) -> list[PredictableMixin]:
+        return self.engine.layers
+
+    @property
+    def history(self) -> History:
+        return self.engine.history
+
+    @property
+    def current_epoch(self) -> int:
+        return self.engine.current_epoch
 
     # ------------------------------------------------------------------
     # Phase steps.
@@ -188,88 +191,28 @@ class AdaGPTrainer:
         self, inputs, targets, stats: Optional[dict] = None
     ) -> float:
         """Warm Up / Phase BP batch: backprop + predictor training."""
-        self.model.train()
-        self._activations.clear()
-        self._install_bp_hooks()
-        try:
-            outputs = self.model(inputs)
-            loss, grad = self.loss_fn(outputs, targets)
-            self.optimizer.zero_grad()
-            self.model.backward(grad)
-            self.optimizer.step()
-        finally:
-            self._remove_hooks()
-        # Train the predictor on every layer's true gradients (§3.3).
-        for layer in self.layers:
-            output = self._activations.get(id(layer))
-            if output is None or layer.weight.grad is None:
-                continue
-            bias_grad = layer.bias.grad if layer.bias is not None else None
-            mse, mape = self.predictor.train_step(
-                layer, output, layer.weight.grad, bias_grad
-            )
-            if hasattr(self.schedule, "observe_mape"):
-                self.schedule.observe_mape(mape)
-            if stats is not None:
-                index = self._layer_index[id(layer)]
-                stats["mse"][index].append(mse)
-                stats["mape"][index].append(mape)
-        return loss
+        result = self.engine.train_batch(inputs, targets, Phase.BP)
+        if stats is not None and result.predictor_mse is not None:
+            for index, value in result.predictor_mse.items():
+                stats["mse"][index].append(value)
+            for index, value in result.predictor_mape.items():
+                stats["mape"][index].append(value)
+        return result.loss
 
     def train_batch_gp(self, inputs, targets) -> float:
         """Phase GP batch: forward-only with per-layer predicted updates."""
-        self.model.train()
-        self._install_gp_hooks()
-        try:
-            outputs = self.model(inputs)
-        finally:
-            self._remove_hooks()
-        loss, _ = self.loss_fn(outputs, targets)  # monitoring only
-        return loss
+        return self.engine.train_batch(inputs, targets, Phase.GP).loss
 
     # ------------------------------------------------------------------
     def train_epoch(
         self, batches: Iterable[Batch], epoch: Optional[int] = None
     ) -> dict:
         """Train one epoch under the phase schedule; returns stats."""
-        epoch = self.current_epoch if epoch is None else epoch
-        stats = {
-            "mse": defaultdict(list),
-            "mape": defaultdict(list),
-        }
-        losses: list[float] = []
-        counts = {Phase.WARMUP: 0, Phase.BP: 0, Phase.GP: 0}
-        for batch_index, (inputs, targets) in enumerate(batches):
-            phase = self.schedule.phase_for(epoch, batch_index)
-            counts[phase] += 1
-            if phase == Phase.GP:
-                losses.append(self.train_batch_gp(inputs, targets))
-            else:
-                losses.append(self.train_batch_bp(inputs, targets, stats))
-        if not losses:
-            raise ValueError("train_epoch received no batches")
-        return {
-            "loss": float(np.mean(losses)),
-            "counts": counts,
-            "mse": {k: float(np.mean(v)) for k, v in stats["mse"].items()},
-            "mape": {k: float(np.mean(v)) for k, v in stats["mape"].items()},
-        }
+        return self.engine.train_epoch(batches, epoch).legacy_dict()
 
     def evaluate(self, batches: Iterable[Batch]) -> tuple[float, float]:
         """Mean (loss, metric) over validation batches, hooks disabled."""
-        self.model.eval()
-        self._remove_hooks()
-        losses: list[float] = []
-        metrics: list[float] = []
-        for inputs, targets in batches:
-            outputs = self.model(inputs)
-            loss, _ = self.loss_fn(outputs, targets)
-            losses.append(loss)
-            if self.metric_fn is not None:
-                metrics.append(self.metric_fn(outputs, targets))
-        self.model.train()
-        mean_metric = float(np.mean(metrics)) if metrics else float("nan")
-        return float(np.mean(losses)), mean_metric
+        return self.engine.evaluate(batches)
 
     def fit(
         self, train_batches: BatchesFn, val_batches: BatchesFn, epochs: int
@@ -280,19 +223,10 @@ class AdaGPTrainer:
         runs after every epoch and both LR schedulers step.  Per-layer
         predictor errors (Fig 15's series) accumulate in ``self.history``.
         """
-        for _ in range(epochs):
-            epoch_stats = self.train_epoch(train_batches(), self.current_epoch)
-            val_loss, val_metric = self.evaluate(val_batches())
-            if self.scheduler is not None:
-                self.scheduler.step(val_loss)
-            self.predictor_scheduler.step()
-            counts = epoch_stats["counts"]
-            self.history.train_loss.append(epoch_stats["loss"])
-            self.history.val_loss.append(val_loss)
-            self.history.val_metric.append(val_metric)
-            self.history.bp_batches.append(counts[Phase.BP] + counts[Phase.WARMUP])
-            self.history.gp_batches.append(counts[Phase.GP])
-            self.history.predictor_mse.append(epoch_stats["mse"])
-            self.history.predictor_mape.append(epoch_stats["mape"])
-            self.current_epoch += 1
-        return self.history
+        return self.engine.fit(train_batches, val_batches, epochs)
+
+    # Kept for callers that built per-epoch stats dicts themselves.
+    @staticmethod
+    def empty_stats() -> dict:
+        """A stats accumulator in the shape ``train_batch_bp`` fills."""
+        return {"mse": defaultdict(list), "mape": defaultdict(list)}

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core import AdaGPTrainer, HeuristicSchedule, History
+from ..core import HeuristicSchedule, History, adagp_engine
 from ..data import preset_split
 from ..models import build_mini
 from ..nn.losses import CrossEntropyLoss, accuracy
@@ -40,11 +40,12 @@ def run_fig15(
     lr: float = 0.02,
     predictor_lr: float = 3e-3,
     seed: int = 0,
+    callbacks: tuple = (),
 ) -> Fig15Result:
     """Train VGG13-mini with ADA-GP, recording per-layer predictor error."""
     split = preset_split("Cifar10", num_train=num_train, num_val=num_val, seed=seed)
     model = build_mini("VGG13", 10, rng=np.random.default_rng(seed + 1))
-    trainer = AdaGPTrainer(
+    engine = adagp_engine(
         model,
         CrossEntropyLoss(),
         metric_fn=accuracy,
@@ -53,13 +54,14 @@ def run_fig15(
         schedule=HeuristicSchedule(
             warmup_epochs=6, ladder=((3, (4, 1)), (3, (3, 1)), (3, (2, 1)))
         ),
+        callbacks=callbacks,
     )
-    history = trainer.fit(
+    history = engine.fit(
         lambda: split.train.batches(batch_size, rng=np.random.default_rng(seed + 2)),
         lambda: split.val.batches(2 * batch_size, shuffle=False),
         epochs=epochs,
     )
-    return Fig15Result(history=history, num_layers=len(trainer.layers))
+    return Fig15Result(history=history, num_layers=len(engine.layers))
 
 
 def format_fig15(result: Fig15Result, kind: str = "mape", max_layers: int = 10) -> str:

@@ -23,6 +23,7 @@ from . import (
     table4_5_hardware,
 )
 from ..accel import DataflowKind
+from ..core import ThroughputTimer
 from ..pipeline import PipelineKind
 
 QUICK_TABLE1_MODELS = ["ResNet50", "VGG13", "DenseNet121", "MobileNet-V2"]
@@ -34,15 +35,23 @@ def run_all(quick: bool = False, stream=sys.stdout) -> None:
         print(file=stream)
 
     start = time.time()
+    # One timer shared by every training-based experiment: the engine's
+    # callback system aggregates measured batches/sec per phase across
+    # the whole regeneration run (printed at the end).
+    timer = ThroughputTimer()
 
     # Table 1 (training-based).
     models = QUICK_TABLE1_MODELS if quick else None
     epochs = 12 if quick else 20
-    rows = table1_accuracy.run_table1(models=models, epochs=epochs)
+    rows = table1_accuracy.run_table1(
+        models=models, epochs=epochs, callbacks=(timer,)
+    )
     emit(table1_accuracy.format_table1(rows))
 
     # Fig 15 (training-based).
-    result = fig15_predictor_error.run_fig15(epochs=12 if quick else 24)
+    result = fig15_predictor_error.run_fig15(
+        epochs=12 if quick else 24, callbacks=(timer,)
+    )
     emit(fig15_predictor_error.format_fig15(result, "mape"))
     emit(fig15_predictor_error.format_fig15(result, "mse"))
 
@@ -64,12 +73,18 @@ def run_all(quick: bool = False, stream=sys.stdout) -> None:
     # Table 2 (training-based).
     emit(
         table2_transformer.format_table2(
-            table2_transformer.run_table2(epochs=16 if quick else 30)
+            table2_transformer.run_table2(
+                epochs=16 if quick else 30, callbacks=(timer,)
+            )
         )
     )
 
     # Table 3 (training-based).
-    emit(table3_yolo.format_table3(table3_yolo.run_table3(epochs=12 if quick else 25)))
+    emit(
+        table3_yolo.format_table3(
+            table3_yolo.run_table3(epochs=12 if quick else 25, callbacks=(timer,))
+        )
+    )
 
     # Fig 20 (analytical).
     for pipeline in PipelineKind:
@@ -89,6 +104,7 @@ def run_all(quick: bool = False, stream=sys.stdout) -> None:
     # Fig 21 (analytical).
     emit(fig21_energy.format_fig21(fig21_energy.run_fig21()))
 
+    print(f"[{timer.summary()}]", file=stream)
     print(f"[done in {time.time() - start:.1f}s]", file=stream)
 
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core import AdaGPTrainer, BPTrainer, HeuristicSchedule
+from ..core import HeuristicSchedule, adagp_engine, bp_engine
 from ..data import preset_split
 from ..models import CLASSIFICATION_MODELS, build_mini
 from ..nn.losses import CrossEntropyLoss, accuracy
@@ -59,22 +59,26 @@ def _train_once(
     batch_size: int,
     lr: float,
     seed: int,
+    callbacks: tuple = (),
 ) -> float:
     classes = DATASET_CLASSES[dataset]
     split = preset_split(dataset, num_train=num_train, num_val=num_val, seed=seed)
     model = build_mini(model_name, classes, rng=np.random.default_rng(seed + 1))
     loss = CrossEntropyLoss()
     if use_adagp:
-        trainer: AdaGPTrainer | BPTrainer = AdaGPTrainer(
+        engine = adagp_engine(
             model,
             loss,
             metric_fn=accuracy,
             lr=lr,
             schedule=HeuristicSchedule(**MINI_SCHEDULE),
+            callbacks=callbacks,
         )
     else:
-        trainer = BPTrainer(model, loss, metric_fn=accuracy, lr=lr)
-    history = trainer.fit(
+        engine = bp_engine(
+            model, loss, metric_fn=accuracy, lr=lr, callbacks=callbacks
+        )
+    history = engine.fit(
         lambda: split.train.batches(
             batch_size, rng=np.random.default_rng(seed + 2)
         ),
@@ -93,10 +97,14 @@ def run_table1(
     batch_size: int = 32,
     lr: float | None = None,
     seed: int = 0,
+    callbacks: tuple = (),
 ) -> list[Table1Row]:
     """Train every (model, dataset) pair with BP and with ADA-GP.
 
     ``lr=None`` uses the per-family defaults in :data:`MODEL_LR`.
+    ``callbacks`` (engine :class:`~repro.core.Callback` objects) are
+    attached to every training run — e.g. one shared
+    :class:`~repro.core.ThroughputTimer` to measure the sweep.
     """
     models = models if models is not None else CLASSIFICATION_MODELS
     datasets = datasets if datasets is not None else list(DATASET_CLASSES)
@@ -106,11 +114,11 @@ def run_table1(
         for dataset in datasets:
             bp_acc = _train_once(
                 model_name, dataset, False, epochs, num_train, num_val,
-                batch_size, model_lr, seed,
+                batch_size, model_lr, seed, callbacks,
             )
             ada_acc = _train_once(
                 model_name, dataset, True, epochs, num_train, num_val,
-                batch_size, model_lr, seed,
+                batch_size, model_lr, seed, callbacks,
             )
             rows.append(Table1Row(model_name, dataset, bp_acc, ada_acc))
     return rows

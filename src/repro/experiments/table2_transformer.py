@@ -15,7 +15,7 @@ from typing import Iterator
 import numpy as np
 
 from ..accel import AcceleratorModel, AdaGPDesign
-from ..core import AdaGPTrainer, BPTrainer, HeuristicSchedule
+from ..core import HeuristicSchedule, adagp_engine, bp_engine
 from ..core.metrics import bleu_score
 from ..data.translation import (
     BOS_ID,
@@ -102,6 +102,7 @@ def run_table2(
     cycle_epochs: int = 13,
     cycle_batches_per_epoch: int = 210,
     warmup_epochs: int = 10,
+    callbacks: tuple = (),
 ) -> list[Table2Row]:
     """Train the mini Transformer with BP and with ADA-GP.
 
@@ -140,7 +141,7 @@ def run_table2(
         loss = CrossEntropyLoss(ignore_index=PAD_ID)
         optimizer = Adam(model.parameters(), lr=lr)
         if use_adagp:
-            trainer: AdaGPTrainer | BPTrainer = AdaGPTrainer(
+            engine = adagp_engine(
                 model,
                 loss,
                 optimizer=optimizer,
@@ -151,16 +152,18 @@ def run_table2(
                     warmup_epochs=warmup_epochs,
                     ladder=((4, (4, 1)), (4, (3, 1)), (4, (2, 1))),
                 ),
+                callbacks=callbacks,
             )
         else:
-            trainer = BPTrainer(
+            engine = bp_engine(
                 model,
                 loss,
                 optimizer=optimizer,
                 metric_fn=_token_accuracy,
                 plateau_scheduler=False,
+                callbacks=callbacks,
             )
-        history = trainer.fit(
+        history = engine.fit(
             lambda: _seq_batches(train, batch_size, seed + 2),
             lambda: _seq_batches(val, 64, seed + 3),
             epochs=adagp_epochs if use_adagp else epochs,

@@ -14,7 +14,7 @@ from typing import Iterator
 import numpy as np
 
 from ..accel import AcceleratorModel, AdaGPDesign
-from ..core import AdaGPTrainer, BPTrainer, HeuristicSchedule
+from ..core import HeuristicSchedule, adagp_engine, bp_engine
 from ..core.metrics import detection_class_accuracy, mean_average_precision
 from ..data.detection import DetectionDataset, synthetic_detection
 from ..models import MiniYolo, YoloLoss, decode_predictions, spec_for
@@ -78,6 +78,7 @@ def run_table3(
     seed: int = 0,
     cycle_epochs: int = 20,
     cycle_batches_per_epoch: int = 500,
+    callbacks: tuple = (),
 ) -> list[Table3Row]:
     """Train MiniYolo with BP and ADA-GP; report detection metrics.
 
@@ -102,20 +103,21 @@ def run_table3(
         )
         loss = YoloLoss()
         if design is None:
-            trainer: AdaGPTrainer | BPTrainer = BPTrainer(model, loss, lr=lr)
+            engine = bp_engine(model, loss, lr=lr, callbacks=callbacks)
         else:
             # The software algorithm is identical for Efficient and MAX
             # (they differ in hardware); metrics coincide, like the
             # paper's Table 3 where both report 82.51 / 0.4674.
-            trainer = AdaGPTrainer(
+            engine = adagp_engine(
                 model,
                 loss,
                 lr=lr,
                 schedule=HeuristicSchedule(
                     warmup_epochs=14, ladder=((6, (4, 1)), (6, (3, 1)), (6, (2, 1)))
                 ),
+                callbacks=callbacks,
             )
-        trainer.fit(
+        engine.fit(
             lambda: _batches(train, batch_size, seed + 2),
             lambda: _batches(val, 64, seed + 3),
             epochs=epochs,

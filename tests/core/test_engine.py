@@ -1,0 +1,356 @@
+"""Tests for the unified TrainingEngine: strategies, callbacks,
+checkpoint/resume, adaptive scheduling, and the History count fix."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    AdaGPTrainer,
+    AdaptiveSchedule,
+    BackpropStrategy,
+    BPTrainer,
+    Checkpointing,
+    DNITrainer,
+    EarlyStopping,
+    HeuristicSchedule,
+    LambdaCallback,
+    Phase,
+    ThroughputTimer,
+    TrainingEngine,
+    adagp_engine,
+    bp_engine,
+    dni_engine,
+)
+from repro.data import synthetic_images
+from repro.nn.losses import CrossEntropyLoss, accuracy
+
+RNG = np.random.default_rng(53)
+
+
+def _tiny_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv2d(3, 4, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(4, 8, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(8, 3, rng=rng),
+    )
+
+
+def _tiny_split(seed=0):
+    return synthetic_images(3, 48, 24, image_size=8, seed=seed)
+
+
+def _train_fn(split, batch=16, seed=1):
+    return lambda: split.train.batches(batch, rng=np.random.default_rng(seed))
+
+
+def _val_fn(split):
+    return lambda: split.val.batches(24, shuffle=False)
+
+
+def _adagp(seed=0, schedule=None, **kwargs):
+    return adagp_engine(
+        _tiny_model(seed),
+        CrossEntropyLoss(),
+        lr=0.05,
+        metric_fn=accuracy,
+        schedule=schedule
+        or HeuristicSchedule(warmup_epochs=1, ladder=((1, (2, 1)),)),
+        **kwargs,
+    )
+
+
+class TestUnification:
+    """All three training modes run through one TrainingEngine."""
+
+    def test_every_trainer_shim_wraps_an_engine(self):
+        model_args = (CrossEntropyLoss(),)
+        for trainer in (
+            BPTrainer(_tiny_model(), *model_args),
+            AdaGPTrainer(_tiny_model(), *model_args),
+            DNITrainer(_tiny_model(), *model_args),
+        ):
+            assert isinstance(trainer.engine, TrainingEngine)
+
+    def test_factories_share_the_fit_loop(self):
+        engines = [
+            bp_engine(_tiny_model(), CrossEntropyLoss()),
+            adagp_engine(_tiny_model(), CrossEntropyLoss()),
+            dni_engine(_tiny_model(), CrossEntropyLoss()),
+        ]
+        assert all(type(e).fit is TrainingEngine.fit for e in engines)
+
+    def test_bp_history_records_true_batch_counts(self):
+        """The old BPTrainer appended a -1 sentinel; the engine records
+        the real number of true-gradient batches per epoch."""
+        split = _tiny_split()
+        engine = bp_engine(
+            _tiny_model(), CrossEntropyLoss(), lr=0.05, metric_fn=accuracy
+        )
+        history = engine.fit(_train_fn(split), _val_fn(split), epochs=2)
+        assert history.bp_batches == [3, 3]  # 48 samples / batch 16
+        assert history.gp_batches == [0, 0]
+
+    def test_bp_trainer_shim_inherits_true_counts(self):
+        split = _tiny_split()
+        trainer = BPTrainer(_tiny_model(), CrossEntropyLoss(), lr=0.05)
+        history = trainer.fit(_train_fn(split), _val_fn(split), epochs=2)
+        assert all(count >= 0 for count in history.bp_batches)
+        assert history.bp_batches == [3, 3]
+
+    def test_dni_records_predictor_errors(self):
+        split = _tiny_split()
+        engine = dni_engine(_tiny_model(), CrossEntropyLoss(), lr=0.05)
+        history = engine.fit(_train_fn(split), _val_fn(split), epochs=1)
+        assert len(history.predictor_mape) == 1
+        assert len(history.predictor_mape[0]) == 3  # three predictable layers
+
+    def test_missing_phase_strategy_is_an_error(self):
+        model = _tiny_model()
+        engine = TrainingEngine(
+            model,
+            CrossEntropyLoss(),
+            nn.SGD(model.parameters(), lr=0.01),
+            strategies={Phase.BP: BackpropStrategy()},
+            schedule=HeuristicSchedule(warmup_epochs=0),
+        )
+        x = RNG.standard_normal((4, 3, 8, 8)).astype(np.float32)
+        y = RNG.integers(0, 3, 4)
+        with pytest.raises(KeyError):
+            engine.train_epoch([(x, y)], epoch=0)  # schedule emits GP first
+
+    def test_empty_epoch_rejected(self):
+        engine = bp_engine(_tiny_model(), CrossEntropyLoss())
+        with pytest.raises(ValueError):
+            engine.train_epoch([])
+
+
+class TestCallbacks:
+    def test_event_order_and_payloads(self):
+        split = _tiny_split()
+        events = []
+        callback = LambdaCallback(
+            on_fit_begin=lambda e, epochs: events.append(("fit_begin", epochs)),
+            on_epoch_begin=lambda e, epoch: events.append(("epoch_begin", epoch)),
+            on_batch_begin=lambda e, epoch, i, phase: events.append(
+                ("batch_begin", epoch, i, phase)
+            ),
+            on_batch_end=lambda e, epoch, i, result: events.append(
+                ("batch_end", epoch, i, result.phase)
+            ),
+            on_epoch_end=lambda e, epoch, logs: events.append(
+                ("epoch_end", epoch, sorted(logs))
+            ),
+            on_fit_end=lambda e: events.append(("fit_end",)),
+        )
+        engine = bp_engine(
+            _tiny_model(), CrossEntropyLoss(), lr=0.05, callbacks=(callback,)
+        )
+        engine.fit(_train_fn(split), _val_fn(split), epochs=1)
+        kinds = [e[0] for e in events]
+        assert kinds == [
+            "fit_begin",
+            "epoch_begin",
+            "batch_begin", "batch_end",
+            "batch_begin", "batch_end",
+            "batch_begin", "batch_end",
+            "epoch_end",
+            "fit_end",
+        ]
+        assert events[0] == ("fit_begin", 1)
+        assert events[2] == ("batch_begin", 0, 0, Phase.BP)
+        logs_keys = events[-2][2]
+        assert logs_keys == ["counts", "epoch", "train_loss", "val_loss", "val_metric"]
+
+    def test_early_stopping_halts_fit(self):
+        split = _tiny_split()
+        stopper = EarlyStopping(monitor="val_loss", patience=0, min_delta=1e9)
+        engine = bp_engine(
+            _tiny_model(), CrossEntropyLoss(), lr=0.05, callbacks=(stopper,)
+        )
+        history = engine.fit(_train_fn(split), _val_fn(split), epochs=10)
+        # min_delta is huge, so epoch 2 can never improve on epoch 1.
+        assert history.num_epochs == 2
+        assert stopper.stopped_epoch == 1
+
+    def test_early_stopping_unknown_monitor_rejected(self):
+        split = _tiny_split()
+        engine = bp_engine(
+            _tiny_model(),
+            CrossEntropyLoss(),
+            callbacks=(EarlyStopping(monitor="nope"),),
+        )
+        with pytest.raises(KeyError):
+            engine.fit(_train_fn(split), _val_fn(split), epochs=1)
+
+    def test_throughput_timer_counts_match_history(self):
+        split = _tiny_split()
+        timer = ThroughputTimer()
+        engine = _adagp(
+            schedule=HeuristicSchedule(warmup_epochs=0, ladder=((10, (2, 1)),)),
+            callbacks=(timer,),
+        )
+        history = engine.fit(_train_fn(split), _val_fn(split), epochs=2)
+        assert timer.batches[Phase.GP] == sum(history.gp_batches)
+        assert timer.batches[Phase.BP] == sum(history.bp_batches)
+        assert timer.batches_per_second(Phase.GP) > 0
+        assert "batches/s" in timer.summary()
+
+    def test_checkpointing_callback_saves_per_epoch(self, tmp_path):
+        split = _tiny_split()
+        target = str(tmp_path / "ckpt-{epoch}.pkl")
+        engine = bp_engine(
+            _tiny_model(),
+            CrossEntropyLoss(),
+            lr=0.05,
+            callbacks=(Checkpointing(target, every=1),),
+        )
+        engine.fit(_train_fn(split), _val_fn(split), epochs=2)
+        assert (tmp_path / "ckpt-0.pkl").exists()
+        assert (tmp_path / "ckpt-1.pkl").exists()
+
+
+class TestCheckpointResume:
+    """Checkpoint -> resume reproduces the uninterrupted History exactly."""
+
+    def _histories_equal(self, a, b):
+        assert a.train_loss == b.train_loss
+        assert a.val_loss == b.val_loss
+        assert a.val_metric == b.val_metric
+        assert a.bp_batches == b.bp_batches
+        assert a.gp_batches == b.gp_batches
+        assert a.predictor_mse == b.predictor_mse
+        assert a.predictor_mape == b.predictor_mape
+
+    @pytest.mark.parametrize("builder", ["bp", "adagp", "adaptive"])
+    def test_round_trip_reproduces_history(self, builder, tmp_path):
+        split = _tiny_split()
+
+        def build():
+            if builder == "bp":
+                return bp_engine(
+                    _tiny_model(), CrossEntropyLoss(), lr=0.05, metric_fn=accuracy
+                )
+            if builder == "adagp":
+                return _adagp()
+            return _adagp(schedule=AdaptiveSchedule(warmup_epochs=1))
+
+        train_fn, val_fn = _train_fn(split), _val_fn(split)
+
+        uninterrupted = build().fit(train_fn, val_fn, epochs=4)
+
+        path = str(tmp_path / "ckpt.pkl")
+        first_half = build()
+        first_half.fit(train_fn, val_fn, epochs=2)
+        first_half.save_checkpoint(path)
+
+        resumed = build()
+        resumed.load_checkpoint(path)
+        assert resumed.current_epoch == 2
+        history = resumed.fit(train_fn, val_fn, epochs=2)
+
+        self._histories_equal(history, uninterrupted)
+
+    def test_state_dict_round_trip_in_memory(self):
+        split = _tiny_split()
+        engine = _adagp()
+        engine.fit(_train_fn(split), _val_fn(split), epochs=2)
+        state = engine.state_dict()
+        fresh = _adagp()
+        fresh.load_state_dict(state)
+        assert fresh.current_epoch == engine.current_epoch
+        for key, value in engine.model.state_dict().items():
+            np.testing.assert_array_equal(fresh.model.state_dict()[key], value)
+        # Predictor scales were re-keyed onto the new engine's layers.
+        assert sorted(
+            engine.predictor._scales[id(l)] for l in engine.layers
+        ) == sorted(fresh.predictor._scales[id(l)] for l in fresh.layers)
+
+    def test_mismatched_checkpoint_rejected(self):
+        engine = _adagp()
+        state = engine.state_dict()
+        bp = bp_engine(_tiny_model(), CrossEntropyLoss())
+        with pytest.raises(ValueError):
+            bp.load_state_dict(state)
+
+    def test_early_stopping_state_survives_resume(self):
+        """A resumed run stops at the same epoch as the uninterrupted
+        one: the patience counter is checkpointed with the engine."""
+        split = _tiny_split()
+
+        def build():
+            stopper = EarlyStopping(monitor="val_loss", patience=1, min_delta=1e9)
+            engine = bp_engine(
+                _tiny_model(),
+                CrossEntropyLoss(),
+                lr=0.05,
+                metric_fn=accuracy,
+                callbacks=(stopper,),
+            )
+            return engine, stopper
+
+        train_fn, val_fn = _train_fn(split), _val_fn(split)
+
+        full_engine, _ = build()
+        uninterrupted = full_engine.fit(train_fn, val_fn, epochs=10)
+        assert uninterrupted.num_epochs == 3  # best @0, bad @1, bad @2 -> stop
+
+        part_engine, part_stopper = build()
+        part_engine.fit(train_fn, val_fn, epochs=2)
+        assert part_stopper.num_bad_epochs == 1
+        state = part_engine.state_dict()
+
+        resumed_engine, resumed_stopper = build()
+        resumed_engine.load_state_dict(state)
+        assert resumed_stopper.num_bad_epochs == 1
+        resumed = resumed_engine.fit(train_fn, val_fn, epochs=8)
+        assert resumed.num_epochs == 3
+        self._histories_equal(resumed, uninterrupted)
+
+    def test_callback_count_mismatch_rejected(self):
+        engine = bp_engine(
+            _tiny_model(), CrossEntropyLoss(), callbacks=(ThroughputTimer(),)
+        )
+        state = engine.state_dict()
+        bare = bp_engine(_tiny_model(), CrossEntropyLoss())
+        with pytest.raises(ValueError):
+            bare.load_state_dict(state)
+
+
+class TestAdaptiveScheduleUnderEngine:
+    def test_mape_observed_through_bp_batches(self):
+        schedule = AdaptiveSchedule(warmup_epochs=0)
+        engine = _adagp(schedule=schedule)
+        x = RNG.standard_normal((8, 3, 8, 8)).astype(np.float32)
+        y = RNG.integers(0, 3, 8)
+        engine.train_batch(x, y, Phase.BP)
+        assert schedule._recent_mape != float("inf")
+
+    def test_ratio_transitions_drive_phase_mix(self):
+        """Better observed predictor quality earns more GP batches."""
+        split = _tiny_split()
+        schedule = AdaptiveSchedule(warmup_epochs=0)
+        engine = _adagp(schedule=schedule)
+        train = list(split.train.batches(16, rng=np.random.default_rng(1)))
+
+        schedule._recent_mape = 100.0  # terrible quality -> 1:1
+        worst = engine.train_epoch(train, epoch=0)
+        assert schedule.ratio_for_epoch(0) == (1, 1)
+
+        schedule._recent_mape = 1.0  # excellent quality -> 4:1
+        # A 3-batch epoch at 4:1 runs GP on every batch; quality is only
+        # re-observed on BP batches, so the pinned value stays in force.
+        best = engine.train_epoch(train, epoch=1)
+        assert schedule.ratio_for_epoch(1) == (4, 1)
+        assert best.counts[Phase.GP] > worst.counts[Phase.GP]
+
+    def test_warmup_epochs_still_respected(self):
+        split = _tiny_split()
+        engine = _adagp(schedule=AdaptiveSchedule(warmup_epochs=2))
+        history = engine.fit(_train_fn(split), _val_fn(split), epochs=2)
+        assert history.gp_batches == [0, 0]

@@ -1,0 +1,72 @@
+"""Bench: measured pipeline-parallel speedups (the Fig 20 substrate).
+
+Gates the executable pipeline engine's core claim: streaming Phase-GP
+micro-batches across stage-partitioned virtual devices must beat
+single-device execution of the same work.  The speedup is a ratio of
+*measured* durations — the numerator (sum of slot times) and denominator
+(virtual-clock makespan) come from the same run, so machine noise
+largely cancels and the gate is stable even on shared CI runners.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_pipeline.py -q
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import build_mini
+from repro.nn.losses import CrossEntropyLoss
+from repro.pipeline import PipelineExecutor, PipelineKind
+
+# Pipelining across 4 virtual devices is ideally 4x; > 1.0 is the hard
+# acceptance gate (stage imbalance and fill/drain eat the rest).
+MIN_GP_STREAM_SPEEDUP = 1.0
+
+NUM_STAGES = 4
+MICRO_BATCHES = 4
+BATCH = 32
+
+
+def _executor(kind: PipelineKind) -> PipelineExecutor:
+    model = build_mini("ResNet50", 10, rng=np.random.default_rng(0))
+    return PipelineExecutor.from_model(
+        model,
+        NUM_STAGES,
+        input_shape=(3, 16, 16),
+        micro_batches=MICRO_BATCHES,
+        kind=kind,
+    )
+
+
+def test_gp_stream_beats_sequential():
+    """Measured GP-stream makespan must beat sequential execution."""
+    executor = _executor(PipelineKind.GPIPE)
+    rng = np.random.default_rng(1)
+    runs = [
+        executor.run_gp_batch(
+            rng.standard_normal((BATCH, 3, 16, 16)).astype(np.float32)
+        )
+        for _ in range(3)
+    ]
+    executor.validate()
+    sequential = sum(run.compute_time for run in runs)
+    speedup = sequential / executor.makespan
+    print(f"\nGP-stream speedup over sequential: {speedup:.2f}x")
+    assert speedup > MIN_GP_STREAM_SPEEDUP
+
+
+@pytest.mark.parametrize("kind", [PipelineKind.GPIPE, PipelineKind.DAPPLE])
+def test_bp_pipeline_beats_sequential(kind):
+    """Even with flush bubbles, pipelined BP should beat one device."""
+    executor = _executor(kind)
+    rng = np.random.default_rng(2)
+    loss_fn = CrossEntropyLoss()
+    runs = []
+    for _ in range(2):
+        x = rng.standard_normal((BATCH, 3, 16, 16)).astype(np.float32)
+        y = rng.integers(0, 10, BATCH)
+        runs.append(executor.run_bp_batch(x, y, loss_fn))
+    executor.validate()
+    sequential = sum(run.compute_time for run in runs)
+    speedup = sequential / executor.makespan
+    print(f"\n{kind.value} BP pipeline speedup over sequential: {speedup:.2f}x")
+    assert speedup > MIN_GP_STREAM_SPEEDUP

@@ -14,6 +14,7 @@ from repro.pipeline import (
     PipelineConfig,
     PipelineKind,
     pipeline_speedup,
+    render_timeline,
     simulate_chimera,
     simulate_dapple,
     simulate_gp_stream,
@@ -23,18 +24,9 @@ from repro.pipeline import (
 
 
 def render(timeline, num_devices: int, title: str) -> None:
-    """ASCII rendering of a step grid: one row per device."""
+    """Print a simulated step grid: one cell per step, one row per device."""
     print(title)
-    span = int(round(timeline.makespan))
-    for device in range(num_devices):
-        cells = ["."] * span
-        for task in timeline.device_tasks(device):
-            label = str(task.micro_batch) if task.kind == "fw" else (
-                chr(ord("a") + task.micro_batch)
-            )
-            for t in range(int(task.start), int(task.end)):
-                cells[t] = label
-        print(f"  device{device}: " + "".join(cells))
+    print(render_timeline(timeline, num_devices))
     print(f"  makespan: {timeline.makespan:.0f} steps "
           "(digits = FW micro-batch, letters = BW)")
     print()

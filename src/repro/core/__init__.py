@@ -23,11 +23,13 @@ from .engine import (
     GradPredictStrategy,
     LambdaCallback,
     PhaseStrategy,
+    PipelineGPStrategy,
     ThroughputTimer,
     TrainingEngine,
     adagp_engine,
     bp_engine,
     dni_engine,
+    pipeline_adagp_engine,
 )
 from .dni import DNITrainer, dni_batch_cost_ratio
 from .trainer import AdaGPTrainer, BPTrainer
@@ -50,6 +52,7 @@ __all__ = [
     "BackpropStrategy",
     "GradPredictStrategy",
     "DNIStrategy",
+    "PipelineGPStrategy",
     "BatchResult",
     "Callback",
     "CallbackList",
@@ -60,6 +63,7 @@ __all__ = [
     "bp_engine",
     "adagp_engine",
     "dni_engine",
+    "pipeline_adagp_engine",
     "AdaGPTrainer",
     "BPTrainer",
     "DNITrainer",

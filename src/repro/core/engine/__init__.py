@@ -24,13 +24,14 @@ from .events import (
     LambdaCallback,
     ThroughputTimer,
 )
-from .factories import adagp_engine, bp_engine, dni_engine
+from .factories import adagp_engine, bp_engine, dni_engine, pipeline_adagp_engine
 from .strategies import (
     BackpropStrategy,
     BatchResult,
     DNIStrategy,
     GradPredictStrategy,
     PhaseStrategy,
+    PipelineGPStrategy,
 )
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "BackpropStrategy",
     "GradPredictStrategy",
     "DNIStrategy",
+    "PipelineGPStrategy",
     "BatchResult",
     "Callback",
     "CallbackList",
@@ -50,6 +52,7 @@ __all__ = [
     "bp_engine",
     "adagp_engine",
     "dni_engine",
+    "pipeline_adagp_engine",
     "engine_state",
     "load_engine_state",
     "optimizer_state",

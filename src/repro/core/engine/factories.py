@@ -18,7 +18,12 @@ from ..predictor import GradientPredictor
 from ..schedule import HeuristicSchedule, Phase
 from .engine import LossFn, MetricFn, TrainingEngine
 from .events import Callback
-from .strategies import BackpropStrategy, DNIStrategy, GradPredictStrategy
+from .strategies import (
+    BackpropStrategy,
+    DNIStrategy,
+    GradPredictStrategy,
+    PipelineGPStrategy,
+)
 
 
 def bp_engine(
@@ -85,6 +90,64 @@ def adagp_engine(
             Phase.BP: bp_strategy,
             Phase.GP: GradPredictStrategy(),
         },
+        schedule=schedule or HeuristicSchedule(),
+        metric_fn=metric_fn,
+        lr_scheduler=ReduceLROnPlateau(optimizer) if plateau_scheduler else None,
+        predictor=predictor,
+        gp_optimizer=gp_optimizer,
+        predictor_scheduler=MultiStepLR(
+            predictor.optimizer, milestones=list(predictor_milestones)
+        ),
+        callbacks=callbacks,
+    )
+
+
+def pipeline_adagp_engine(
+    model: Module,
+    loss_fn: LossFn,
+    num_stages: int = 2,
+    micro_batches: int = 4,
+    kind: str = "GPipe",
+    optimizer: Optional[Optimizer] = None,
+    predictor: Optional[GradientPredictor] = None,
+    schedule=None,
+    lr: float = 1e-3,
+    predictor_lr: float = 1e-4,
+    metric_fn: Optional[MetricFn] = None,
+    plateau_scheduler: bool = True,
+    predictor_milestones: tuple[int, ...] = (20, 40),
+    gp_optimizer: Optional[Optimizer] = None,
+    batched_predictor: bool = True,
+    callbacks: Iterable[Callback] = (),
+) -> TrainingEngine:
+    """ADA-GP on a stage-partitioned pipeline (§3.7, measured Fig 20).
+
+    Identical phase semantics to :func:`adagp_engine`, but every batch —
+    BP and GP alike — executes on the event-driven micro-batch pipeline
+    executor, one :class:`PipelineGPStrategy` for all phases so the
+    per-stage device clocks stay continuous and Phase-GP streams
+    measurably fill the schedule's bubbles.  The measured timeline is at
+    ``engine.strategies[Phase.GP].executor.timeline``.
+
+    ``model`` must be a top-level :class:`~repro.nn.Sequential` (what
+    :func:`repro.models.build_mini` returns); the split happens lazily
+    on the first training batch, balanced by the accel cost model.
+    """
+    if not nn.predictable_layers(model):
+        raise ValueError("model has no predictable layers for ADA-GP")
+    optimizer = optimizer or nn.SGD(model.parameters(), lr=lr, momentum=0.9)
+    predictor = predictor or GradientPredictor.for_model(model, lr=predictor_lr)
+    strategy = PipelineGPStrategy(
+        num_stages=num_stages,
+        micro_batches=micro_batches,
+        kind=kind,
+        batched=batched_predictor,
+    )
+    return TrainingEngine(
+        model,
+        loss_fn,
+        optimizer,
+        strategies=strategy,
         schedule=schedule or HeuristicSchedule(),
         metric_fn=metric_fn,
         lr_scheduler=ReduceLROnPlateau(optimizer) if plateau_scheduler else None,

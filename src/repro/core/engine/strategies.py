@@ -149,6 +149,28 @@ class BackpropStrategy(PhaseStrategy):
         return mse_by_layer, mape_by_layer
 
 
+def apply_predicted_update(
+    engine: "TrainingEngine", layer: Module, output: np.ndarray
+) -> None:
+    """Predict a layer's gradients from its activations and apply them
+    through the GP optimizer (the plain-MAC hardware update path)."""
+    weight_grad, bias_grad = engine.predictor.predict(layer, output)
+    engine.gp_optimizer.apply_gradient(layer.weight, weight_grad)
+    if layer.bias is not None and bias_grad is not None:
+        engine.gp_optimizer.apply_gradient(layer.bias, bias_grad)
+
+
+def install_predict_hooks(engine: "TrainingEngine") -> None:
+    """Hook every predictable layer to apply its predicted update the
+    moment its forward pass completes (§3.4)."""
+
+    def hook(layer: Module, output: np.ndarray) -> None:
+        apply_predicted_update(engine, layer, output)
+
+    for layer in engine.layers:
+        layer.forward_hook = hook
+
+
 class GradPredictStrategy(PhaseStrategy):
     """Phase GP batch: forward-only with per-layer predicted updates.
 
@@ -159,14 +181,116 @@ class GradPredictStrategy(PhaseStrategy):
     ``param.grad``.
     """
 
-    def _install_predict_hooks(self) -> None:
+    def train_batch(self, inputs, targets, phase: Phase) -> BatchResult:
         engine = self.engine
+        engine.model.train()
+        install_predict_hooks(engine)
+        try:
+            outputs = engine.model(inputs)
+        finally:
+            engine.clear_hooks()
+        loss, _ = engine.loss_fn(outputs, targets)  # monitoring only
+        return BatchResult(loss=loss, phase=Phase.GP)
+
+
+class PipelineGPStrategy(BackpropStrategy):
+    """Pipeline-parallel ADA-GP on stage-partitioned models (§3.7, Fig 20).
+
+    On first batch, the engine's ``Sequential`` model is split into
+    ``num_stages`` balanced stage sub-models (accel cost model, see
+    :mod:`repro.pipeline.partition`) and every batch thereafter runs on
+    the event-driven micro-batch executor with per-stage virtual device
+    clocks (:mod:`repro.pipeline.executor`):
+
+    * WARMUP/BP batches execute the GPipe- or DAPPLE-ordered fw/bw
+      schedule (gradients identical to full-batch backprop for
+      mean-reduction losses) and train the predictor exactly like
+      :class:`BackpropStrategy`;
+    * GP batches stream forward-only micro-batches with each predictable
+      layer's predicted update applied the moment its forward completes
+      — the Phase-GP work that fills the pipeline bubbles.  Predictor
+      predict+apply time runs inside the measured forward slot, so the
+      paper's alpha overhead is part of the measurement.  By default the
+      update fires once per batch, on the *final* micro-batch's forward,
+      predicting from the accumulated full-batch activations — the same
+      update semantics and cost as the single-chip
+      :class:`GradPredictStrategy` (the hardware overlaps alpha on a
+      dedicated array, software pays it per invocation);
+      ``apply_every_micro=True`` instead applies per micro-batch from
+      that micro-batch's activations alone.
+
+    Device clocks persist across batches, making the executor's
+    ``timeline`` a *measured* Fig 20: its makespan is the multi-device
+    critical path of the actual phase sequence, validated against the
+    simulator's dependency rules via ``executor.validate()``.
+    """
+
+    def __init__(
+        self,
+        num_stages: int = 2,
+        micro_batches: int = 4,
+        kind: str = "GPipe",
+        train_predictor: bool = True,
+        batched: bool = True,
+        apply_every_micro: bool = False,
+    ) -> None:
+        super().__init__(train_predictor=train_predictor, batched=batched)
+        self.num_stages = num_stages
+        self.micro_batches = micro_batches
+        self.kind = kind
+        self.apply_every_micro = apply_every_micro
+        self.executor = None  # built lazily (needs the input shape)
+        self._activation_chunks: dict[int, list[np.ndarray]] = {}
+
+    def _ensure_executor(self, inputs: np.ndarray) -> None:
+        if self.executor is not None:
+            return
+        # Imported here: repro.core.engine must stay importable without
+        # dragging the pipeline package (and its accel/models deps) in.
+        from ...pipeline.executor import PipelineExecutor
+        from ...pipeline.schedules import PipelineKind
+
+        self.executor = PipelineExecutor.from_model(
+            self.engine.model,
+            self.num_stages,
+            input_shape=inputs.shape[1:],
+            micro_batches=self.micro_batches,
+            kind=PipelineKind(self.kind),
+        )
+
+    def _install_pipeline_capture_hooks(self) -> None:
+        """Collect every micro-batch's activations so predictor training
+        sees the full batch (concatenated), matching BackpropStrategy's
+        activation/gradient pairing."""
+        chunks = self._activation_chunks
 
         def hook(layer: Module, output: np.ndarray) -> None:
-            weight_grad, bias_grad = engine.predictor.predict(layer, output)
-            engine.gp_optimizer.apply_gradient(layer.weight, weight_grad)
-            if layer.bias is not None and bias_grad is not None:
-                engine.gp_optimizer.apply_gradient(layer.bias, bias_grad)
+            chunks.setdefault(id(layer), []).append(output)
+
+        for layer in self.engine.layers:
+            layer.forward_hook = hook
+
+    def _install_pipeline_predict_hooks(self) -> None:
+        engine = self.engine
+        if self.apply_every_micro:
+            install_predict_hooks(engine)
+            return
+        # Accumulate each layer's micro-batch activations and predict
+        # once from the full batch when its last micro-batch forward
+        # completes — single-chip GradPredictStrategy semantics, with
+        # the predict+apply still inside that measured forward slot.
+        executor = self.executor
+        last_micro = executor.config.micro_batches - 1
+        chunks: dict[int, list[np.ndarray]] = {}
+
+        def hook(layer: Module, output: np.ndarray) -> None:
+            parts = chunks.setdefault(id(layer), [])
+            parts.append(output)
+            if executor.current_micro == last_micro:
+                apply_predicted_update(
+                    engine, layer, np.concatenate(parts, axis=0)
+                )
+                parts.clear()
 
         for layer in engine.layers:
             layer.forward_hook = hook
@@ -174,13 +298,41 @@ class GradPredictStrategy(PhaseStrategy):
     def train_batch(self, inputs, targets, phase: Phase) -> BatchResult:
         engine = self.engine
         engine.model.train()
-        self._install_predict_hooks()
+        self._ensure_executor(inputs)
+        if phase == Phase.GP:
+            if engine.predictor is not None:
+                self._install_pipeline_predict_hooks()
+            try:
+                run = self.executor.run_gp_batch(inputs, targets, engine.loss_fn)
+            finally:
+                engine.clear_hooks()
+            return BatchResult(loss=run.loss, phase=Phase.GP)
+        capture = self.train_predictor and engine.predictor is not None
+        if capture:
+            self._activations.clear()
+            self._activation_chunks.clear()
+            self._install_pipeline_capture_hooks()
         try:
-            outputs = engine.model(inputs)
+            engine.optimizer.zero_grad()
+            run = self.executor.run_bp_batch(inputs, targets, engine.loss_fn)
+            engine.optimizer.step()
         finally:
-            engine.clear_hooks()
-        loss, _ = engine.loss_fn(outputs, targets)  # monitoring only
-        return BatchResult(loss=loss, phase=Phase.GP)
+            if capture:
+                engine.clear_hooks()
+        if not capture:
+            return BatchResult(loss=run.loss, phase=phase)
+        self._activations = {
+            key: np.concatenate(chunks, axis=0)
+            for key, chunks in self._activation_chunks.items()
+        }
+        self._activation_chunks.clear()
+        mse_by_layer, mape_by_layer = self._train_predictor()
+        return BatchResult(
+            loss=run.loss,
+            phase=phase,
+            predictor_mse=mse_by_layer,
+            predictor_mape=mape_by_layer,
+        )
 
 
 class DNIStrategy(PhaseStrategy):

@@ -11,12 +11,19 @@ from __future__ import annotations
 import numpy as np
 
 
-def pad2d(x: np.ndarray, padding: int) -> np.ndarray:
-    """Zero-pad the two trailing spatial dims of an NCHW tensor."""
+def pad2d(x: np.ndarray, padding: int, fill_value: float = 0.0) -> np.ndarray:
+    """Pad the two trailing spatial dims of an NCHW tensor.
+
+    ``fill_value`` defaults to zero (convolution semantics); max-pooling
+    pads with ``-inf`` so padded positions can never win the max.
+    """
     if padding == 0:
         return x
     return np.pad(
-        x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        x,
+        ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+        mode="constant",
+        constant_values=fill_value,
     )
 
 
@@ -32,17 +39,18 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kernel: int, stride: int, padding: int
+    x: np.ndarray, kernel: int, stride: int, padding: int, fill_value: float = 0.0
 ) -> tuple[np.ndarray, int, int]:
     """Unfold an NCHW tensor into convolution columns.
 
     Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
-    ``(batch, channels * kernel * kernel, out_h * out_w)``.
+    ``(batch, channels * kernel * kernel, out_h * out_w)``.  Padded
+    positions hold ``fill_value``.
     """
     batch, channels, height, width = x.shape
     out_h = conv_output_size(height, kernel, stride, padding)
     out_w = conv_output_size(width, kernel, stride, padding)
-    xp = pad2d(x, padding)
+    xp = pad2d(x, padding, fill_value)
     windows = np.lib.stride_tricks.sliding_window_view(xp, (kernel, kernel), (2, 3))
     # windows: (batch, channels, H', W', kernel, kernel) -> strided sampling.
     windows = windows[:, :, ::stride, ::stride, :, :]

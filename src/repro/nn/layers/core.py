@@ -26,7 +26,7 @@ class Linear(Module, PredictableMixin):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = init.layer_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(
@@ -86,7 +86,7 @@ class Conv2d(Module, PredictableMixin):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = init.layer_rng(rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size

@@ -20,7 +20,7 @@ class Embedding(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = init.layer_rng(rng)
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = Parameter(

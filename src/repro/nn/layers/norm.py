@@ -33,11 +33,16 @@ class BatchNorm2d(Module):
         if self.training:
             mean = x.mean(axis=(0, 2, 3))
             var = x.var(axis=(0, 2, 3))
+            # PyTorch-compatible running stats: the running_var update
+            # stores the unbiased (Bessel-corrected) estimate, while
+            # normalization below keeps using the biased batch variance.
+            count = x.shape[0] * x.shape[2] * x.shape[3]
+            unbiased_var = var * (count / (count - 1)) if count > 1 else var
             self.running_mean = (
                 (1 - self.momentum) * self.running_mean + self.momentum * mean
             ).astype(np.float32)
             self.running_var = (
-                (1 - self.momentum) * self.running_var + self.momentum * var
+                (1 - self.momentum) * self.running_var + self.momentum * unbiased_var
             ).astype(np.float32)
         else:
             mean = self.running_mean
@@ -90,11 +95,14 @@ class BatchNorm1d(Module):
         if self.training:
             mean = x.mean(axis=0)
             var = x.var(axis=0)
+            # Unbiased running_var, biased normalization (see BatchNorm2d).
+            count = x.shape[0]
+            unbiased_var = var * (count / (count - 1)) if count > 1 else var
             self.running_mean = (
                 (1 - self.momentum) * self.running_mean + self.momentum * mean
             ).astype(np.float32)
             self.running_var = (
-                (1 - self.momentum) * self.running_var + self.momentum * var
+                (1 - self.momentum) * self.running_var + self.momentum * unbiased_var
             ).astype(np.float32)
         else:
             mean = self.running_mean
@@ -162,7 +170,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = init.layer_rng(rng)
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:

@@ -15,6 +15,13 @@ class MaxPool2d(Module):
 
     def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
         super().__init__()
+        if padding * 2 > kernel_size:
+            # Guarantees every window sees at least one real element, so
+            # the -inf padding below can never be a window's argmax.
+            raise ValueError(
+                f"padding ({padding}) must be at most half the kernel size "
+                f"({kernel_size}) for MaxPool2d"
+            )
         self.kernel_size = kernel_size
         self.stride = stride if stride is not None else kernel_size
         self.padding = padding
@@ -22,14 +29,17 @@ class MaxPool2d(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         batch, channels, _, _ = x.shape
-        cols, out_h, out_w = F.im2col(x, self.kernel_size, self.stride, self.padding)
+        # Pad with -inf, not zero: a padded slot must never win the max
+        # (a zero pad would beat real negative activations and, worse,
+        # rewrite real zero activations — ubiquitous after ReLU — when
+        # masked by value), and backward must never route gradient into
+        # the padding ring where col2im drops it.
+        fill = -np.inf if self.padding > 0 else 0.0
+        cols, out_h, out_w = F.im2col(
+            x, self.kernel_size, self.stride, self.padding, fill_value=fill
+        )
         k2 = self.kernel_size * self.kernel_size
         cols = cols.reshape(batch, channels, k2, out_h * out_w)
-        if self.padding > 0:
-            # Padded zeros must not win the max for all-negative windows.
-            cols = np.where(cols == 0.0, np.float32(-np.inf), cols)
-            has_real = np.isfinite(cols).any(axis=2, keepdims=True)
-            cols = np.where(has_real, cols, 0.0)
         argmax = cols.argmax(axis=2)
         out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2)[:, :, 0, :]
         self._cache = (x.shape, argmax, out_h, out_w)

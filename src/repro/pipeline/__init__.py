@@ -1,6 +1,19 @@
-"""Multi-device pipeline schedules (GPipe/DAPPLE/Chimera) + ADA-GP overlays."""
+"""Multi-device pipeline schedules (GPipe/DAPPLE/Chimera) + ADA-GP overlays.
+
+Two complementary halves: :mod:`.schedules`/:mod:`.simulator`/:mod:`.adagp`
+model the paper's step grids analytically, while :mod:`.partition` and
+:mod:`.executor` *execute* stage-partitioned NumPy models under the same
+schedules with measured per-stage device clocks (Fig 20 as measurement).
+"""
 
 from .adagp import StageTimes, model_stage_times, pipeline_speedup
+from .executor import BatchRun, PipelineExecutor, validate_dependencies
+from .partition import (
+    StagePlan,
+    balanced_boundaries,
+    partition_sequential,
+    probe_layer_costs,
+)
 from .schedules import (
     PipelineConfig,
     PipelineKind,
@@ -13,6 +26,7 @@ from .schedules import (
 from .simulator import (
     Task,
     Timeline,
+    render_timeline,
     simulate_chimera,
     simulate_dapple,
     simulate_gp_stream,
@@ -21,6 +35,13 @@ from .simulator import (
 )
 
 __all__ = [
+    "BatchRun",
+    "PipelineExecutor",
+    "StagePlan",
+    "balanced_boundaries",
+    "partition_sequential",
+    "probe_layer_costs",
+    "validate_dependencies",
     "StageTimes",
     "model_stage_times",
     "pipeline_speedup",
@@ -33,6 +54,7 @@ __all__ = [
     "training_phase_sequence",
     "Task",
     "Timeline",
+    "render_timeline",
     "simulate_chimera",
     "simulate_dapple",
     "simulate_gp_stream",

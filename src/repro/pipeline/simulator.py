@@ -56,6 +56,41 @@ class Timeline:
                     )
 
 
+def render_timeline(
+    timeline: Timeline,
+    num_devices: int,
+    width: Optional[int] = None,
+    label_by: str = "micro_batch",
+) -> str:
+    """ASCII step grid of a timeline: one row per device.
+
+    Forward slots are digits, backward slots letters, both labelled by
+    ``label_by`` (``"micro_batch"`` for single-batch simulator grids,
+    ``"batch"`` for measured multi-batch runs).  ``width`` defaults to
+    one cell per time step (integer-step simulator timelines); measured
+    timelines have sub-second spans, so pass an explicit width to get a
+    readable scaled grid.
+    """
+    span = timeline.makespan
+    if span <= 0:
+        return "(empty timeline)"
+    if width is None:
+        width = max(int(round(span)), 1)
+    scale = width / span
+    rows = []
+    for device in range(num_devices):
+        cells = ["."] * width
+        for task in timeline.device_tasks(device):
+            index = getattr(task, label_by) % 10
+            label = str(index) if task.kind == "fw" else chr(ord("a") + index)
+            lo = int(task.start * scale)
+            hi = min(max(int(task.end * scale), lo + 1), width)
+            for cell in range(lo, hi):
+                cells[cell] = label
+        rows.append(f"  device{device}: " + "".join(cells))
+    return "\n".join(rows)
+
+
 def simulate_gpipe(
     config: PipelineConfig,
     tf: float = 1.0,

@@ -140,6 +140,41 @@ class TestAttention:
 
         assert max_relative_error(grad_in, numerical_gradient(loss, x)) < 2e-2
 
+    def test_backward_attend_gradcheck_per_input(self):
+        """FD-check d_query, d_key and d_value independently."""
+        mha = nn.MultiHeadAttention(4, 2, rng=np.random.default_rng(5))
+        rng = np.random.default_rng(6)
+        q = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        k = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        v = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        probe = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        mha.attend(q, k, v)
+        d_q, d_k, d_v = mha.backward_attend(probe)
+
+        def loss() -> float:
+            return float((mha.attend(q, k, v) * probe).sum())
+
+        for analytic, array in ((d_q, q), (d_k, k), (d_v, v)):
+            assert max_relative_error(analytic, numerical_gradient(loss, array)) < 2e-2
+
+    def test_default_rng_projections_differ(self):
+        """Regression: q/k/v/out built without an rng must not collide.
+
+        Before the per-layer seed-sequence policy, every Linear defaulted
+        to a fresh ``default_rng(0)``, making all four projections
+        bit-identical.
+        """
+        mha = nn.MultiHeadAttention(8, 2)
+        weights = [
+            mha.q_proj.weight.data,
+            mha.k_proj.weight.data,
+            mha.v_proj.weight.data,
+            mha.out_proj.weight.data,
+        ]
+        for i in range(len(weights)):
+            for j in range(i + 1, len(weights)):
+                assert not np.array_equal(weights[i], weights[j])
+
     def test_gradcheck_cross_attention_memory(self):
         mha = nn.MultiHeadAttention(4, 2, rng=np.random.default_rng(3))
         q = RNG.standard_normal((1, 3, 4)).astype(np.float32)

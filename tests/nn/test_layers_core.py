@@ -139,3 +139,30 @@ class TestFlattenSequential:
             nn.Flatten().backward(np.zeros((1, 4), dtype=np.float32))
         with pytest.raises(RuntimeError):
             nn.Linear(2, 2).backward(np.zeros((1, 2), dtype=np.float32))
+
+
+class TestDefaultLayerRng:
+    """The per-layer default rng policy (seed-sequence spawn per layer)."""
+
+    def test_same_shape_layers_never_collide(self):
+        assert not np.array_equal(
+            nn.Linear(6, 6).weight.data, nn.Linear(6, 6).weight.data
+        )
+        assert not np.array_equal(
+            nn.Conv2d(2, 3, 3).weight.data, nn.Conv2d(2, 3, 3).weight.data
+        )
+
+    def test_explicit_rng_still_reproducible(self):
+        a = nn.Linear(4, 4, rng=np.random.default_rng(9)).weight.data
+        b = nn.Linear(4, 4, rng=np.random.default_rng(9)).weight.data
+        np.testing.assert_array_equal(a, b)
+
+    def test_reset_layer_rng_restores_the_stream(self):
+        from repro.nn import init
+
+        init.reset_layer_rng(123)
+        a = nn.Linear(4, 4).weight.data.copy()
+        init.reset_layer_rng(123)
+        b = nn.Linear(4, 4).weight.data.copy()
+        init.reset_layer_rng()
+        np.testing.assert_array_equal(a, b)

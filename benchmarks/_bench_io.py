@@ -1,0 +1,31 @@
+"""Machine-readable benchmark records (``BENCH_*.json`` at the repo root).
+
+Every benchmark test calls :func:`record` with a section name and a
+payload of timings/speedups; sections merge into one JSON file per
+benchmark module so the perf trajectory is diffable across PRs and CI
+runs can archive it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def record(filename: str, section: str, payload: dict) -> Path:
+    """Merge ``payload`` under ``section`` into ``REPO_ROOT/filename``."""
+    path = REPO_ROOT / filename
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            data = {}
+    data.setdefault("meta", {})["python"] = platform.python_version()
+    data["meta"]["machine"] = platform.machine()
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path

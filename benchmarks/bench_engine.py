@@ -1,6 +1,7 @@
-"""Bench: TrainingEngine throughput and the batched predictor fast path.
+"""Bench: TrainingEngine throughput and the backend/predictor fast paths.
 
-Two measurements seed the perf trajectory of the engine refactor:
+Three measurements seed the perf trajectory of the engine refactor, all
+recorded into ``BENCH_engine.json`` for cross-PR tracking:
 
 1. **Batched vs per-layer predictor updates** — the BP-phase hot path.
    ``GradientPredictor.train_step_many`` stacks all layers' pooled
@@ -10,6 +11,9 @@ Two measurements seed the perf trajectory of the engine refactor:
 2. **BP-phase vs GP-phase batches/sec** through the engine — Phase GP
    skips the whole backward pass, so its software rate must beat the
    BP-phase rate even in NumPy, mirroring the accelerator-model claim.
+3. **FusedBackend vs NumpyBackend** on a full ResNet50-mini BP batch —
+   the blocking CI gate of the backend refactor (>= 1.3x; both numbers
+   come from the same process, so machine noise largely cancels).
 
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_engine.py -q
 """
@@ -18,6 +22,7 @@ import time
 
 import numpy as np
 
+from _bench_io import record
 from repro import nn
 from repro.core import (
     GradientPredictor,
@@ -31,6 +36,7 @@ from repro.models import build_mini
 from repro.nn.losses import CrossEntropyLoss
 
 MIN_BATCHED_SPEEDUP = 1.5
+MIN_FUSED_SPEEDUP = 1.3
 
 
 def _resnet_entries(seed=0):
@@ -101,6 +107,17 @@ def test_bench_batched_predictor_fast_path(benchmark):
     benchmark.extra_info["sequential_ms"] = sequential_s * 1e3
     benchmark.extra_info["batched_ms"] = batched_s * 1e3
     benchmark.extra_info["speedup"] = speedup
+    record(
+        "BENCH_engine.json",
+        "batched_predictor",
+        {
+            "num_layers": len(entries),
+            "sequential_ms": sequential_s * 1e3,
+            "batched_ms": batched_s * 1e3,
+            "speedup": speedup,
+            "gate": MIN_BATCHED_SPEEDUP,
+        },
+    )
     print(
         f"\npredictor update, {len(entries)} ResNet50-mini layers: "
         f"sequential {sequential_s * 1e3:.2f} ms, batched {batched_s * 1e3:.2f} ms "
@@ -135,6 +152,131 @@ def test_bench_engine_phase_rates(benchmark):
     benchmark.extra_info["bp_batches_per_s"] = bp_rate
     benchmark.extra_info["warmup_batches_per_s"] = warmup_rate
     benchmark.extra_info["gp_batches_per_s"] = gp_rate
+    record(
+        "BENCH_engine.json",
+        "phase_rates",
+        {
+            "bp_batches_per_s": bp_rate,
+            "warmup_batches_per_s": warmup_rate,
+            "gp_batches_per_s": gp_rate,
+            "gp_over_bp": gp_rate / bp_rate if bp_rate else float("nan"),
+        },
+    )
     print(f"\n{timer.summary()}")
     # Skipping backward must pay off in software too.
     assert gp_rate > bp_rate
+
+
+def _time_op(fn, rounds=30):
+    fn()  # warm (BLAS planning, workspace allocation, path caches)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    return (time.perf_counter() - start) / rounds
+
+
+def _op_microbench():
+    """Per-op NumPy-vs-Fused timings for the BENCH_engine.json record."""
+    rng = np.random.default_rng(3)
+    x_conv = rng.standard_normal((16, 32, 16, 16)).astype(np.float32)
+    w3 = rng.standard_normal((32, 32, 3, 3)).astype(np.float32)
+    w1 = rng.standard_normal((64, 32, 1, 1)).astype(np.float32)
+    g3 = rng.standard_normal((16, 32, 16, 16)).astype(np.float32)
+    x_lin = rng.standard_normal((256, 512)).astype(np.float32)
+    w_lin = rng.standard_normal((128, 512)).astype(np.float32)
+    q = rng.standard_normal((8, 4, 64, 32)).astype(np.float32)
+    x_bn = rng.standard_normal((16, 64, 16, 16)).astype(np.float32)
+
+    def ops_for(backend):
+        def conv3x3():
+            _, ctx = backend.conv2d_forward(x_conv, w3, None, 1, 1)
+            backend.conv2d_backward(g3, w3, ctx)
+
+        return {
+            "conv3x3_fwd_bwd": conv3x3,
+            "conv1x1_fwd": lambda: backend.conv2d_forward(x_conv, w1, None, 1, 0),
+            "linear_fwd": lambda: backend.linear_forward(x_lin, w_lin, None),
+            "attn_scores": lambda: backend.attn_scores(q, q),
+            "bn_moments": lambda: backend.moments(x_bn, (0, 2, 3)),
+        }
+
+    timings = {}
+    numpy_ops = ops_for(nn.get_backend("numpy"))
+    fused_ops = ops_for(nn.get_backend("fused"))
+    for name in numpy_ops:
+        numpy_ms = _time_op(numpy_ops[name]) * 1e3
+        fused_ms = _time_op(fused_ops[name]) * 1e3
+        timings[name] = {
+            "numpy_ms": numpy_ms,
+            "fused_ms": fused_ms,
+            "speedup": numpy_ms / fused_ms,
+        }
+    return timings
+
+
+def test_bench_fused_backend_gate(benchmark):
+    """FusedBackend must be >= 1.3x NumpyBackend on a ResNet50-mini BP
+    batch (forward + loss + full backward) — the blocking CI gate of the
+    backend refactor.  Both sides are measured in this process, so the
+    ratio is stable on noisy runners."""
+    loss_fn = CrossEntropyLoss()
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((16, 3, 16, 16)).astype(np.float32)
+    y = rng.integers(0, 10, 16)
+    models = {
+        name: build_mini("ResNet50", 10, rng=np.random.default_rng(1))
+        for name in ("numpy", "fused")
+    }
+
+    def bp_step(name):
+        model = models[name]
+        with nn.use_backend(name):
+            outputs = model(x)
+            _, grad = loss_fn(outputs, y)
+            model.zero_grad()
+            model.backward(grad)
+
+    for name in models:  # warm both: BLAS planning, workspace pool fill
+        bp_step(name)
+        bp_step(name)
+
+    # Interleave the two backends round-by-round and compare medians:
+    # machine-load drift then hits both sides equally, keeping the ratio
+    # stable on shared CI runners.
+    rounds = 25
+    times: dict[str, list[float]] = {"numpy": [], "fused": []}
+
+    def measure():
+        for _ in range(rounds):
+            for name in ("numpy", "fused"):
+                start = time.perf_counter()
+                bp_step(name)
+                times[name].append(time.perf_counter() - start)
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    numpy_s = float(np.median(times["numpy"]))
+    fused_s = float(np.median(times["fused"]))
+
+    speedup = numpy_s / fused_s
+    ops = _op_microbench()
+    benchmark.extra_info["numpy_ms"] = numpy_s * 1e3
+    benchmark.extra_info["fused_ms"] = fused_s * 1e3
+    benchmark.extra_info["speedup"] = speedup
+    record(
+        "BENCH_engine.json",
+        "fused_gate",
+        {
+            "model": "ResNet50-mini",
+            "batch": 16,
+            "numpy_step_ms": numpy_s * 1e3,
+            "fused_step_ms": fused_s * 1e3,
+            "speedup": speedup,
+            "gate": MIN_FUSED_SPEEDUP,
+            "ops": ops,
+        },
+    )
+    print(
+        f"\nResNet50-mini BP batch: numpy {numpy_s * 1e3:.2f} ms, "
+        f"fused {fused_s * 1e3:.2f} ms ({speedup:.2f}x)"
+    )
+    assert speedup >= MIN_FUSED_SPEEDUP

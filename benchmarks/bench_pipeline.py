@@ -13,6 +13,7 @@ Run:  PYTHONPATH=src python -m pytest benchmarks/bench_pipeline.py -q
 import numpy as np
 import pytest
 
+from _bench_io import record
 from repro.models import build_mini
 from repro.nn.losses import CrossEntropyLoss
 from repro.pipeline import PipelineExecutor, PipelineKind
@@ -50,6 +51,18 @@ def test_gp_stream_beats_sequential():
     executor.validate()
     sequential = sum(run.compute_time for run in runs)
     speedup = sequential / executor.makespan
+    record(
+        "BENCH_pipeline.json",
+        "gp_stream",
+        {
+            "num_stages": NUM_STAGES,
+            "micro_batches": MICRO_BATCHES,
+            "sequential_s": sequential,
+            "makespan_s": executor.makespan,
+            "speedup": speedup,
+            "gate": MIN_GP_STREAM_SPEEDUP,
+        },
+    )
     print(f"\nGP-stream speedup over sequential: {speedup:.2f}x")
     assert speedup > MIN_GP_STREAM_SPEEDUP
 
@@ -68,5 +81,17 @@ def test_bp_pipeline_beats_sequential(kind):
     executor.validate()
     sequential = sum(run.compute_time for run in runs)
     speedup = sequential / executor.makespan
+    record(
+        "BENCH_pipeline.json",
+        f"bp_pipeline_{kind.value.lower()}",
+        {
+            "num_stages": NUM_STAGES,
+            "micro_batches": MICRO_BATCHES,
+            "sequential_s": sequential,
+            "makespan_s": executor.makespan,
+            "speedup": speedup,
+            "gate": MIN_GP_STREAM_SPEEDUP,
+        },
+    )
     print(f"\n{kind.value} BP pipeline speedup over sequential: {speedup:.2f}x")
     assert speedup > MIN_GP_STREAM_SPEEDUP

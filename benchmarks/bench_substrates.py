@@ -31,13 +31,16 @@ def vgg_model():
     return build_mini("VGG13", 10, rng=np.random.default_rng(1))
 
 
-def test_bench_conv_forward(benchmark):
+@pytest.mark.parametrize("backend", ["numpy", "fused"])
+def test_bench_conv_forward(benchmark, backend):
     conv = nn.Conv2d(32, 64, 3, padding=1, rng=np.random.default_rng(0))
     x = np.random.default_rng(1).standard_normal((16, 32, 16, 16)).astype(np.float32)
-    benchmark(conv.forward, x)
+    with nn.use_backend(backend):
+        benchmark(conv.forward, x)
 
 
-def test_bench_conv_backward(benchmark):
+@pytest.mark.parametrize("backend", ["numpy", "fused"])
+def test_bench_conv_backward(benchmark, backend):
     conv = nn.Conv2d(32, 64, 3, padding=1, rng=np.random.default_rng(0))
     x = np.random.default_rng(1).standard_normal((16, 32, 16, 16)).astype(np.float32)
     grad = conv.forward(x).copy()
@@ -47,7 +50,8 @@ def test_bench_conv_backward(benchmark):
         conv.forward(x)
         return conv.backward(grad)
 
-    benchmark(run)
+    with nn.use_backend(backend):
+        benchmark(run)
 
 
 def test_bench_bp_batch(benchmark, vgg_model, image_batch):

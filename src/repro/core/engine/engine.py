@@ -21,6 +21,7 @@ from typing import Callable, Iterable, Mapping, Optional, Union
 import numpy as np
 
 from ... import nn
+from ...nn.backend import BackendSpec, backend_scope, resolve_backend
 from ...nn.module import Module, PredictableMixin
 from ...nn.optim import Optimizer
 from ..history import History
@@ -77,6 +78,11 @@ class TrainingEngine:
         The ADA-GP machinery; all optional.  When ``predictor`` is set
         the engine resolves the model's predictable layers and records
         per-layer predictor errors in History.
+    backend:
+        Compute backend (name or :class:`~repro.nn.backend.Backend`)
+        every batch and evaluation runs under.  A strategy's own
+        ``backend`` takes precedence for its batches; ``None`` inherits
+        the process-global default (``nn.use_backend``).
     """
 
     def __init__(
@@ -93,8 +99,10 @@ class TrainingEngine:
         predictor_scheduler=None,
         callbacks: Iterable[Callback] = (),
         history: Optional[History] = None,
+        backend: Optional[BackendSpec] = None,
     ) -> None:
         self.model = model
+        self.backend = resolve_backend(backend)
         self.loss_fn = loss_fn
         self.optimizer = optimizer
         self.metric_fn = metric_fn
@@ -153,8 +161,16 @@ class TrainingEngine:
     def train_batch(
         self, inputs, targets, phase: Phase = Phase.BP
     ) -> BatchResult:
-        """Run one training batch under ``phase``'s strategy."""
-        return self.strategy_for(phase).train_batch(inputs, targets, phase)
+        """Run one training batch under ``phase``'s strategy, inside the
+        resolved backend scope (strategy override > engine > global).
+        Forward caches are dropped afterwards so the step's largest
+        allocations don't stay pinned between batches."""
+        strategy = self.strategy_for(phase)
+        backend = strategy.backend if strategy.backend is not None else self.backend
+        with backend_scope(backend):
+            result = strategy.train_batch(inputs, targets, phase)
+        self.model.clear_caches()
+        return result
 
     def train_epoch(
         self, batches: Iterable[Batch], epoch: Optional[int] = None
@@ -193,12 +209,17 @@ class TrainingEngine:
         self.clear_hooks()
         losses: list[float] = []
         metrics: list[float] = []
-        for inputs, targets in batches:
-            outputs = self.model(inputs)
-            loss, _ = self.loss_fn(outputs, targets)
-            losses.append(loss)
-            if self.metric_fn is not None:
-                metrics.append(self.metric_fn(outputs, targets))
+        with backend_scope(self.backend):
+            for inputs, targets in batches:
+                outputs = self.model(inputs)
+                loss, _ = self.loss_fn(outputs, targets)
+                losses.append(loss)
+                if self.metric_fn is not None:
+                    metrics.append(self.metric_fn(outputs, targets))
+                # Per batch, not once at the end: releases each batch's
+                # conv workspaces so a pooled backend reuses them on the
+                # next eval batch instead of reallocating.
+                self.model.clear_caches()
         self.model.train()
         mean_metric = float(np.mean(metrics)) if metrics else float("nan")
         return float(np.mean(losses)), mean_metric

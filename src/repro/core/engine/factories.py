@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ... import nn
+from ...nn.backend import BackendSpec
 from ...nn.module import Module
 from ...nn.optim import MultiStepLR, Optimizer, ReduceLROnPlateau
 from ..predictor import GradientPredictor
@@ -34,6 +35,7 @@ def bp_engine(
     metric_fn: Optional[MetricFn] = None,
     plateau_scheduler: bool = True,
     callbacks: Iterable[Callback] = (),
+    backend: Optional[BackendSpec] = None,
 ) -> TrainingEngine:
     """Plain backpropagation (the paper's comparison point)."""
     optimizer = optimizer or nn.SGD(model.parameters(), lr=lr, momentum=0.9)
@@ -45,6 +47,7 @@ def bp_engine(
         metric_fn=metric_fn,
         lr_scheduler=ReduceLROnPlateau(optimizer) if plateau_scheduler else None,
         callbacks=callbacks,
+        backend=backend,
     )
 
 
@@ -62,6 +65,8 @@ def adagp_engine(
     gp_optimizer: Optional[Optimizer] = None,
     batched_predictor: bool = True,
     callbacks: Iterable[Callback] = (),
+    backend: Optional[BackendSpec] = None,
+    gp_backend: Optional[BackendSpec] = None,
 ) -> TrainingEngine:
     """ADA-GP: warm-up / Phase BP / Phase GP under a phase schedule.
 
@@ -75,6 +80,10 @@ def adagp_engine(
     ``batched_predictor`` selects the stacked one-shot predictor update
     in Phase BP (the fast path); the per-layer loop remains available
     for exact reproduction of the pre-engine trajectories.
+
+    ``backend`` selects the compute backend for every batch;
+    ``gp_backend`` additionally pins Phase-GP forward streams to their
+    own backend (e.g. ``backend="numpy", gp_backend="fused"``).
     """
     if not nn.predictable_layers(model):
         raise ValueError("model has no predictable layers for ADA-GP")
@@ -88,7 +97,7 @@ def adagp_engine(
         strategies={
             Phase.WARMUP: bp_strategy,
             Phase.BP: bp_strategy,
-            Phase.GP: GradPredictStrategy(),
+            Phase.GP: GradPredictStrategy(backend=gp_backend),
         },
         schedule=schedule or HeuristicSchedule(),
         metric_fn=metric_fn,
@@ -99,6 +108,7 @@ def adagp_engine(
             predictor.optimizer, milestones=list(predictor_milestones)
         ),
         callbacks=callbacks,
+        backend=backend,
     )
 
 
@@ -119,6 +129,7 @@ def pipeline_adagp_engine(
     gp_optimizer: Optional[Optimizer] = None,
     batched_predictor: bool = True,
     callbacks: Iterable[Callback] = (),
+    backend: Optional[BackendSpec] = None,
 ) -> TrainingEngine:
     """ADA-GP on a stage-partitioned pipeline (§3.7, measured Fig 20).
 
@@ -143,6 +154,8 @@ def pipeline_adagp_engine(
         kind=kind,
         batched=batched_predictor,
     )
+    # One strategy serves all phases, so the engine-level backend scope
+    # covers the executor's stage compute for BP and GP batches alike.
     return TrainingEngine(
         model,
         loss_fn,
@@ -157,6 +170,7 @@ def pipeline_adagp_engine(
             predictor.optimizer, milestones=list(predictor_milestones)
         ),
         callbacks=callbacks,
+        backend=backend,
     )
 
 
@@ -171,6 +185,7 @@ def dni_engine(
     metric_fn: Optional[MetricFn] = None,
     plateau_scheduler: bool = True,
     callbacks: Iterable[Callback] = (),
+    backend: Optional[BackendSpec] = None,
 ) -> TrainingEngine:
     """DNI baseline: synthetic gradients every batch + full backprop.
 
@@ -191,4 +206,5 @@ def dni_engine(
         lr_scheduler=ReduceLROnPlateau(optimizer) if plateau_scheduler else None,
         predictor=predictor,
         callbacks=callbacks,
+        backend=backend,
     )

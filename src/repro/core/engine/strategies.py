@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from ...nn.backend import BackendSpec, resolve_backend
 from ...nn.module import Module
 from ..schedule import Phase
 
@@ -50,10 +51,19 @@ class BatchResult:
 
 
 class PhaseStrategy:
-    """One way of running a training batch; bound to an engine at setup."""
+    """One way of running a training batch; bound to an engine at setup.
 
-    def __init__(self) -> None:
+    ``backend`` optionally pins this strategy's batches to a compute
+    backend (name or instance).  The engine enters that scope around
+    ``train_batch``, preferring the strategy's backend over its own —
+    e.g. Phase-GP forward streams can run ``"fused"`` while BP batches
+    stay on the reference backend.  ``None`` inherits the engine's
+    backend (and, failing that, the global default).
+    """
+
+    def __init__(self, backend: Optional[BackendSpec] = None) -> None:
         self.engine: Optional["TrainingEngine"] = None
+        self.backend = resolve_backend(backend)
 
     def bind(self, engine: "TrainingEngine") -> None:
         self.engine = engine
@@ -76,8 +86,13 @@ class BackpropStrategy(PhaseStrategy):
     accelerator model distinguishes.
     """
 
-    def __init__(self, train_predictor: bool = False, batched: bool = True) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        train_predictor: bool = False,
+        batched: bool = True,
+        backend: Optional[BackendSpec] = None,
+    ) -> None:
+        super().__init__(backend=backend)
         self.train_predictor = train_predictor
         self.batched = batched
         self._activations: dict[int, np.ndarray] = {}
@@ -233,8 +248,11 @@ class PipelineGPStrategy(BackpropStrategy):
         train_predictor: bool = True,
         batched: bool = True,
         apply_every_micro: bool = False,
+        backend: Optional[BackendSpec] = None,
     ) -> None:
-        super().__init__(train_predictor=train_predictor, batched=batched)
+        super().__init__(
+            train_predictor=train_predictor, batched=batched, backend=backend
+        )
         self.num_stages = num_stages
         self.micro_batches = micro_batches
         self.kind = kind
@@ -345,8 +363,12 @@ class DNIStrategy(PhaseStrategy):
     improve training time").
     """
 
-    def __init__(self, synthetic_lr_scale: float = 0.1) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        synthetic_lr_scale: float = 0.1,
+        backend: Optional[BackendSpec] = None,
+    ) -> None:
+        super().__init__(backend=backend)
         self.synthetic_lr_scale = synthetic_lr_scale
         self._activations: dict[int, np.ndarray] = {}
 

@@ -7,7 +7,18 @@ per-parameter stepping so ADA-GP can update a layer the moment its
 forward pass finishes.
 """
 
-from . import functional, init, losses, optim
+from . import backend, functional, init, losses, optim
+from .backend import (
+    Backend,
+    FusedBackend,
+    NumpyBackend,
+    backend_scope,
+    current_backend,
+    get_backend,
+    list_backends,
+    register_backend,
+    use_backend,
+)
 from .layers import *  # noqa: F401,F403 -- curated in layers/__init__.py
 from .layers import __all__ as _layers_all
 from .losses import (
@@ -21,10 +32,20 @@ from .module import Module, Parameter, PredictableMixin, predictable_layers
 from .optim import SGD, Adam, MultiStepLR, ReduceLROnPlateau
 
 __all__ = [
+    "backend",
     "functional",
     "init",
     "losses",
     "optim",
+    "Backend",
+    "FusedBackend",
+    "NumpyBackend",
+    "backend_scope",
+    "current_backend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "use_backend",
     "BCEWithLogitsLoss",
     "CrossEntropyLoss",
     "MSELoss",

@@ -1,0 +1,38 @@
+"""Pluggable compute backends for the layer framework's hot tensor ops.
+
+See :mod:`.base` for the dispatch rules and DESIGN.md §7 for the
+architecture.  Importing this package registers the two built-in
+backends: ``"numpy"`` (the verbatim reference) and ``"fused"``
+(reshaped-BLAS matmul + im2col workspace pool + 1x1 fast path).
+"""
+
+from .base import (
+    Backend,
+    BackendSpec,
+    ConvCtx,
+    backend_scope,
+    current_backend,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+    use_backend,
+)
+from .fused import FusedBackend, WorkspacePool
+from .numpy_backend import NumpyBackend
+
+__all__ = [
+    "Backend",
+    "BackendSpec",
+    "ConvCtx",
+    "FusedBackend",
+    "NumpyBackend",
+    "WorkspacePool",
+    "backend_scope",
+    "current_backend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "resolve_backend",
+    "use_backend",
+]

@@ -1,0 +1,206 @@
+"""FusedBackend: reshaped-BLAS ops with an im2col workspace pool.
+
+Same math as :class:`~.numpy_backend.NumpyBackend`, different substrate
+idiom (per-op equivalence is pinned at ``atol <= 1e-5`` by
+``tests/nn/test_backend.py``):
+
+* GEMM-shaped contractions run as direct ``np.matmul`` on reshaped
+  views instead of generic ``einsum(optimize=True)``, whose per-call
+  contraction-path search is pure overhead at these sizes.
+* The einsum that remains (the conv weight-gradient batched GEMM, where
+  einsum's internal strategy beats a tensordot transpose-copy) reuses a
+  cached contraction path keyed by (formula, shapes).
+* im2col columns live in a :class:`WorkspacePool` — a free-list of
+  scratch buffers keyed by shape — so a layer's forward -> backward pair
+  and consecutive batches of the same shape recycle one allocation
+  instead of malloc/free-ing the largest tensors of the step.  Buffers
+  are checked out per forward (micro-batched pipelines hold several in
+  flight) and returned by the matching backward, or by
+  ``Module.clear_caches`` for forward-only (Phase-GP) batches.
+* 1x1 stride-1 convolutions skip im2col entirely: the input *is* the
+  column matrix as a reshape view and the forward is one batched matmul
+  — the bottleneck-conv fast path that dominates ResNet-style models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from .base import ConvCtx, register_backend
+from .numpy_backend import NumpyBackend
+
+
+class WorkspacePool:
+    """Free-list of reusable scratch buffers keyed by (shape, dtype).
+
+    ``acquire`` pops a parked buffer or allocates a fresh one; callers
+    that are done with a buffer ``release`` it back.  Never-released
+    buffers are simply garbage-collected when their owner drops them, so
+    forward-only streams cannot leak; ``max_per_key`` bounds how many
+    same-shaped buffers park at once (micro-batched pipelines check out
+    several before any is returned).
+    """
+
+    def __init__(self, max_per_key: int = 8) -> None:
+        self.max_per_key = max_per_key
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def acquire(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        key = (tuple(shape), np.dtype(dtype).str)
+        parked = self._free.get(key)
+        if parked:
+            self.hits += 1
+            return parked.pop()
+        self.misses += 1
+        return np.empty(shape, dtype=dtype)
+
+    def release(self, array: np.ndarray) -> None:
+        key = (array.shape, array.dtype.str)
+        parked = self._free.setdefault(key, [])
+        if len(parked) < self.max_per_key and not any(
+            buf is array for buf in parked
+        ):
+            parked.append(array)
+
+    def parked_bytes(self) -> int:
+        return sum(
+            buf.nbytes for parked in self._free.values() for buf in parked
+        )
+
+    def clear(self) -> None:
+        self._free.clear()
+
+
+class FusedBackend(NumpyBackend):
+    """BLAS-matmul ops, cached contraction paths, pooled im2col buffers."""
+
+    name = "fused"
+
+    def __init__(self, max_buffers_per_shape: int = 8) -> None:
+        self.pool = WorkspacePool(max_per_key=max_buffers_per_shape)
+        self._paths: dict[tuple, list] = {}
+
+    # -- workspace management --------------------------------------------
+    def acquire_cols(self, shape, dtype) -> Optional[np.ndarray]:
+        return self.pool.acquire(shape, dtype)
+
+    def release(self, array: np.ndarray) -> None:
+        self.pool.release(array)
+
+    def clear_workspaces(self) -> None:
+        self.pool.clear()
+
+    # -- cached einsum contraction paths ---------------------------------
+    def _einsum(self, formula: str, *operands: np.ndarray, dtype=None):
+        key = (formula, tuple(op.shape for op in operands), dtype)
+        path = self._paths.get(key)
+        if path is None:
+            path, _ = np.einsum_path(formula, *operands, optimize="optimal")
+            self._paths[key] = path
+        return np.einsum(formula, *operands, optimize=path, dtype=dtype)
+
+    # -- unfold into pooled workspace ------------------------------------
+    def unfold(self, x, kernel, stride, padding, fill_value=0.0):
+        batch, channels, height, width = x.shape
+        out_h = F.conv_output_size(height, kernel, stride, padding)
+        out_w = F.conv_output_size(width, kernel, stride, padding)
+        buf = self.pool.acquire(
+            (batch, channels * kernel * kernel, out_h * out_w), x.dtype
+        )
+        return F.im2col(x, kernel, stride, padding, fill_value, out=buf)
+
+    # -- convolution -----------------------------------------------------
+    @staticmethod
+    def _is_pointwise(kernel: int, stride: int, padding: int) -> bool:
+        return kernel == 1 and stride == 1 and padding == 0
+
+    def conv2d_forward(self, x, weight, bias, stride, padding):
+        out_channels, _, kernel, _ = weight.shape
+        batch = x.shape[0]
+        if self._is_pointwise(kernel, stride, padding):
+            # 1x1 fast path: the input already is the column matrix.
+            out_h, out_w = x.shape[2], x.shape[3]
+            cols = x.reshape(batch, x.shape[1], out_h * out_w)
+            pooled = False
+        else:
+            cols, out_h, out_w = self.unfold(x, kernel, stride, padding)
+            pooled = True
+        w_flat = weight.reshape(out_channels, -1)
+        out = np.matmul(w_flat, cols)
+        if bias is not None:
+            out += bias[None, :, None]
+        ctx = ConvCtx(self, cols, x.shape, kernel, stride, padding, pooled=pooled)
+        return out.reshape(batch, out_channels, out_h, out_w), ctx
+
+    def conv2d_backward(self, grad_out, weight, ctx, with_bias=False):
+        if ctx.released:
+            # The cols workspace went back to the pool (first backward or
+            # clear_caches) and may have been overwritten by another
+            # layer; recomputing from it would be silent corruption.
+            raise RuntimeError(
+                "conv2d_backward called on a released context; run the "
+                "layer's forward again before a second backward"
+            )
+        batch = grad_out.shape[0]
+        out_channels = weight.shape[0]
+        g_flat = grad_out.reshape(batch, out_channels, -1)
+        # Batched-GEMM contraction over (batch, positions); the cached
+        # path skips einsum's per-call contraction search (and measures
+        # ~2x faster than the tensordot transpose-copy formulation).
+        grad_w = self._einsum("bol,bkl->ok", g_flat, ctx.cols).reshape(
+            weight.shape
+        )
+        grad_b = g_flat.sum(axis=(0, 2)) if with_bias else None
+        w_flat = weight.reshape(out_channels, -1)
+        if self._is_pointwise(ctx.kernel, ctx.stride, ctx.padding):
+            grad_x = np.matmul(w_flat.T, g_flat).reshape(ctx.x_shape)
+        else:
+            grad_cols = np.matmul(
+                w_flat.T, g_flat, out=self.pool.acquire(ctx.cols.shape, g_flat.dtype)
+            )
+            grad_x = self.fold(
+                grad_cols, ctx.x_shape, ctx.kernel, ctx.stride, ctx.padding
+            )
+            self.pool.release(grad_cols)
+            ctx.release()
+        return grad_x, grad_w, grad_b
+
+    # -- linear ----------------------------------------------------------
+    def linear_forward(self, x, weight, bias):
+        if x.ndim == 2:
+            out = np.matmul(x, weight.T)
+        else:
+            x2 = x.reshape(-1, x.shape[-1])
+            out = np.matmul(x2, weight.T).reshape(
+                x.shape[:-1] + (weight.shape[0],)
+            )
+        if bias is not None:
+            out += bias
+        return out
+
+    # -- attention contractions ------------------------------------------
+    # Cached-path einsums, not swapaxes+matmul: einsum hands the
+    # transpose to BLAS as a GEMM flag, while matmul on a swapped view
+    # first materializes a contiguous copy.
+    def attn_scores(self, q, k):
+        return self._einsum("bhqd,bhkd->bhqk", q, k)
+
+    def attn_context(self, p, v):
+        return self._einsum("bhqk,bhkd->bhqd", p, v)
+
+    def attn_context_t(self, p, g):
+        return self._einsum("bhqk,bhqd->bhkd", p, g)
+
+    # Batch-norm moments deliberately inherit the reference two-pass
+    # mean/var: measurement showed NumPy's pairwise-summation reductions
+    # are already optimal here, and every single-pass sum-of-squares
+    # variant either loses to it or breaks the atol<=1e-5 equivalence
+    # pin through catastrophic cancellation on offset activations.
+
+
+register_backend("fused", FusedBackend)

@@ -8,6 +8,8 @@ a single GEMM, which also mirrors how the accelerator model in
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 
@@ -39,13 +41,20 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kernel: int, stride: int, padding: int, fill_value: float = 0.0
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    fill_value: float = 0.0,
+    out: Optional[np.ndarray] = None,
 ) -> tuple[np.ndarray, int, int]:
     """Unfold an NCHW tensor into convolution columns.
 
     Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
     ``(batch, channels * kernel * kernel, out_h * out_w)``.  Padded
-    positions hold ``fill_value``.
+    positions hold ``fill_value``.  ``out``, if given, receives the
+    columns in place (a backend workspace buffer of exactly that shape)
+    and is returned as ``cols``.
     """
     batch, channels, height, width = x.shape
     out_h = conv_output_size(height, kernel, stride, padding)
@@ -54,10 +63,17 @@ def im2col(
     windows = np.lib.stride_tricks.sliding_window_view(xp, (kernel, kernel), (2, 3))
     # windows: (batch, channels, H', W', kernel, kernel) -> strided sampling.
     windows = windows[:, :, ::stride, ::stride, :, :]
-    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(
-        batch, channels * kernel * kernel, out_h * out_w
-    )
-    return np.ascontiguousarray(cols), out_h, out_w
+    src = windows.transpose(0, 1, 4, 5, 2, 3)
+    cols_shape = (batch, channels * kernel * kernel, out_h * out_w)
+    if out is None:
+        return np.ascontiguousarray(src).reshape(cols_shape), out_h, out_w
+    if out.shape != cols_shape or out.dtype != x.dtype:
+        raise ValueError(
+            f"im2col out buffer has shape {out.shape}/{out.dtype}, "
+            f"need {cols_shape}/{x.dtype}"
+        )
+    np.copyto(out.reshape(batch, channels, kernel, kernel, out_h, out_w), src)
+    return out, out_h, out_w
 
 
 def col2im(
@@ -114,9 +130,29 @@ def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
 
 
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """Encode integer labels as a float32 one-hot matrix."""
+    """Encode integer labels as a ``(len(labels), num_classes)`` float32
+    one-hot matrix.
+
+    Labels must be a non-empty integer vector; trailing singleton dims
+    (``(N, 1)`` column vectors) are flattened, any other multi-dim shape
+    raises — indexing ``labels.shape[0]`` on e.g. a ``(4, 3)`` array
+    would silently produce 4 garbage rows.
+    """
     labels = np.asarray(labels)
-    if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
+    if labels.size == 0:
+        raise ValueError("one_hot received an empty label array")
+    if labels.ndim != 1:
+        if all(dim == 1 for dim in labels.shape[1:]):
+            labels = labels.reshape(-1)  # (N, 1)-style column vectors
+        else:
+            raise ValueError(
+                f"one_hot expects a 1-D label vector, got shape {labels.shape}"
+            )
+    if not np.issubdtype(labels.dtype, np.integer):
+        raise ValueError(
+            f"one_hot expects integer labels, got dtype {labels.dtype}"
+        )
+    if labels.min() < 0 or labels.max() >= num_classes:
         raise ValueError(
             f"labels must lie in [0, {num_classes}); "
             f"got range [{labels.min()}, {labels.max()}]"
@@ -138,6 +174,33 @@ def adaptive_pool_splits(in_size: int, out_size: int) -> list[tuple[int, int]]:
     return splits
 
 
+def _splits_tile(starts: np.ndarray, ends: np.ndarray, size: int) -> bool:
+    """True when adaptive windows exactly tile the axis (no overlap)."""
+    return (
+        starts[0] == 0
+        and ends[-1] == size
+        and bool(np.all(ends[:-1] == starts[1:]))
+    )
+
+
+def _window_sums(x: np.ndarray, splits: list[tuple[int, int]], axis: int) -> np.ndarray:
+    """Per-window sums along ``axis`` for adaptive pooling windows.
+
+    Tiling windows reduce in one :func:`np.add.reduceat`; overlapping
+    windows (``in_size % out_size != 0`` can overlap by construction)
+    fall back to cumulative-sum differences.
+    """
+    starts = np.array([s for s, _ in splits])
+    ends = np.array([e for _, e in splits])
+    if _splits_tile(starts, ends, x.shape[axis]):
+        return np.add.reduceat(x, starts, axis=axis)
+    csum = np.cumsum(x, axis=axis)
+    zero_shape = list(x.shape)
+    zero_shape[axis] = 1
+    csum = np.concatenate([np.zeros(zero_shape, dtype=csum.dtype), csum], axis=axis)
+    return csum.take(ends, axis=axis) - csum.take(starts, axis=axis)
+
+
 def adaptive_avg_pool2d(x: np.ndarray, out_hw: tuple[int, int]) -> np.ndarray:
     """Average-pool an NCHW tensor to an exact output spatial size."""
     out_h, out_w = out_hw
@@ -146,28 +209,46 @@ def adaptive_avg_pool2d(x: np.ndarray, out_hw: tuple[int, int]) -> np.ndarray:
         return x.copy()
     rows = adaptive_pool_splits(height, out_h)
     cols = adaptive_pool_splits(width, out_w)
-    out = np.empty((batch, channels, out_h, out_w), dtype=x.dtype)
-    for i, (r0, r1) in enumerate(rows):
-        for j, (c0, c1) in enumerate(cols):
-            out[:, :, i, j] = x[:, :, r0:r1, c0:c1].mean(axis=(2, 3))
-    return out
+    sums = _window_sums(_window_sums(x, rows, axis=2), cols, axis=3)
+    areas = np.outer(
+        [r1 - r0 for r0, r1 in rows], [c1 - c0 for c0, c1 in cols]
+    ).astype(x.dtype)
+    return sums / areas
 
 
 def adaptive_avg_pool2d_backward(
     grad_out: np.ndarray, input_shape: tuple[int, int, int, int]
 ) -> np.ndarray:
-    """Backward of :func:`adaptive_avg_pool2d`."""
+    """Backward of :func:`adaptive_avg_pool2d`: scatter each output
+    cell's gradient uniformly over its window.  The separable scatter is
+    ``expand(rows) . grad . expand(cols)`` — ``np.repeat`` when windows
+    tile the axis, an indicator-matrix matmul when they overlap."""
     _, _, height, width = input_shape
     out_h, out_w = grad_out.shape[2], grad_out.shape[3]
     if (height, width) == (out_h, out_w):
         return grad_out.copy()
     rows = adaptive_pool_splits(height, out_h)
     cols = adaptive_pool_splits(width, out_w)
-    grad_in = np.zeros(input_shape, dtype=grad_out.dtype)
-    for i, (r0, r1) in enumerate(rows):
-        for j, (c0, c1) in enumerate(cols):
-            area = (r1 - r0) * (c1 - c0)
-            grad_in[:, :, r0:r1, c0:c1] += (
-                grad_out[:, :, i : i + 1, j : j + 1] / area
-            )
-    return grad_in
+    row_lens = np.array([r1 - r0 for r0, r1 in rows])
+    col_lens = np.array([c1 - c0 for c0, c1 in cols])
+    areas = np.outer(row_lens, col_lens).astype(grad_out.dtype)
+    scaled = grad_out / areas
+    row_starts = np.array([r0 for r0, _ in rows])
+    row_ends = np.array([r1 for _, r1 in rows])
+    col_starts = np.array([c0 for c0, _ in cols])
+    col_ends = np.array([c1 for _, c1 in cols])
+    if _splits_tile(row_starts, row_ends, height):
+        expanded = np.repeat(scaled, row_lens, axis=2)
+    else:
+        indicator = np.zeros((out_h, height), dtype=grad_out.dtype)
+        for i, (r0, r1) in enumerate(rows):
+            indicator[i, r0:r1] = 1.0
+        expanded = np.matmul(indicator.T, scaled.reshape(-1, out_h, out_w)).reshape(
+            grad_out.shape[0], grad_out.shape[1], height, out_w
+        )
+    if _splits_tile(col_starts, col_ends, width):
+        return np.repeat(expanded, col_lens, axis=3)
+    indicator = np.zeros((out_w, width), dtype=grad_out.dtype)
+    for j, (c0, c1) in enumerate(cols):
+        indicator[j, c0:c1] = 1.0
+    return np.matmul(expanded, indicator)

@@ -11,6 +11,8 @@ from ..module import Module
 
 
 class ReLU(Module):
+    _extra_cache_attrs = ("_mask",)
+
     def __init__(self) -> None:
         super().__init__()
         self._mask: Optional[np.ndarray] = None
@@ -26,6 +28,8 @@ class ReLU(Module):
 
 
 class LeakyReLU(Module):
+    _extra_cache_attrs = ("_mask",)
+
     def __init__(self, slope: float = 0.1) -> None:
         super().__init__()
         self.slope = slope
@@ -44,6 +48,8 @@ class LeakyReLU(Module):
 class ReLU6(Module):
     """min(max(x, 0), 6) — the MobileNet activation."""
 
+    _extra_cache_attrs = ("_mask",)
+
     def __init__(self) -> None:
         super().__init__()
         self._mask: Optional[np.ndarray] = None
@@ -59,6 +65,8 @@ class ReLU6(Module):
 
 
 class Sigmoid(Module):
+    _extra_cache_attrs = ("_out",)
+
     def __init__(self) -> None:
         super().__init__()
         self._out: Optional[np.ndarray] = None
@@ -74,6 +82,8 @@ class Sigmoid(Module):
 
 
 class Tanh(Module):
+    _extra_cache_attrs = ("_out",)
+
     def __init__(self) -> None:
         super().__init__()
         self._out: Optional[np.ndarray] = None
@@ -90,6 +100,8 @@ class Tanh(Module):
 
 class GELU(Module):
     """Gaussian error linear unit (tanh approximation), used by Transformer."""
+
+    _extra_cache_attrs = ("_x",)
 
     _C = 0.7978845608028654  # sqrt(2/pi)
 

@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from .. import functional as F
+from ..backend import current_backend
 from ..module import Module
 from .core import Linear
 
@@ -64,15 +65,16 @@ class MultiHeadAttention(Module):
 
         ``mask`` broadcasts against ``(batch, heads, len_q, len_k)``.
         """
+        backend = current_backend()
         q = self._split_heads(self.q_proj(query))
         k = self._split_heads(self.k_proj(key))
         v = self._split_heads(self.v_proj(value))
         scale = 1.0 / np.sqrt(self.head_dim)
-        scores = np.einsum("bhqd,bhkd->bhqk", q, k, optimize=True) * scale
+        scores = backend.attn_scores(q, k) * scale
         if mask is not None:
             scores = np.where(mask.astype(bool), scores, np.float32(-1e9))
         attn = F.softmax(scores, axis=-1)
-        context = np.einsum("bhqk,bhkd->bhqd", attn, v, optimize=True)
+        context = backend.attn_context(attn, v)
         self._cache = (q, k, v, attn, scale)
         return self.out_proj(self._merge_heads(context))
 
@@ -82,15 +84,16 @@ class MultiHeadAttention(Module):
         """Backward through attention; returns (d_query, d_key, d_value)."""
         if self._cache is None:
             raise RuntimeError("backward_attend called before attend")
+        backend = current_backend()
         q, k, v, attn, scale = self._cache
         d_context = self._split_heads(self.out_proj.backward(grad_out))
-        d_attn = np.einsum("bhqd,bhkd->bhqk", d_context, v, optimize=True)
-        d_v = np.einsum("bhqk,bhqd->bhkd", attn, d_context, optimize=True)
+        d_attn = backend.attn_scores(d_context, v)
+        d_v = backend.attn_context_t(attn, d_context)
         # Softmax backward: dS = A * (dA - sum(dA * A)).
         inner = (d_attn * attn).sum(axis=-1, keepdims=True)
         d_scores = attn * (d_attn - inner)
-        d_q = np.einsum("bhqk,bhkd->bhqd", d_scores, k, optimize=True) * scale
-        d_k = np.einsum("bhqk,bhqd->bhkd", d_scores, q, optimize=True) * scale
+        d_q = backend.attn_context(d_scores, k) * scale
+        d_k = backend.attn_context_t(d_scores, q) * scale
         d_query = self.q_proj.backward(self._merge_heads(d_q))
         d_key = self.k_proj.backward(self._merge_heads(d_k))
         d_value = self.v_proj.backward(self._merge_heads(d_v))

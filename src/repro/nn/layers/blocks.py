@@ -44,6 +44,8 @@ class ConcatBranches(Module):
     and sums the input gradients.
     """
 
+    _extra_cache_attrs = ("_split_sizes",)
+
     def __init__(self, branches: Sequence[Module]) -> None:
         super().__init__()
         if not branches:
@@ -71,6 +73,8 @@ class ConcatBranches(Module):
 
 class DenseConcat(Module):
     """``y = concat(x, main(x))`` on channels — one DenseNet layer hop."""
+
+    _extra_cache_attrs = ("_in_channels",)
 
     def __init__(self, main: Module) -> None:
         super().__init__()

@@ -6,8 +6,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from .. import functional as F
 from .. import init
+from ..backend import ConvCtx, current_backend
 from ..module import Module, Parameter, PredictableMixin
 
 
@@ -44,22 +44,23 @@ class Linear(Module, PredictableMixin):
                 f"Linear expected last dim {self.in_features}, got {x.shape}"
             )
         self._cache_x = x
-        out = x @ self.weight.data.T
-        if self.bias is not None:
-            out = out + self.bias.data
-        return out
+        return current_backend().linear_forward(
+            x, self.weight.data, self.bias.data if self.bias is not None else None
+        )
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache_x is None:
             raise RuntimeError("backward called before forward")
-        x = self._cache_x
-        # Collapse any leading dims (batch, sequence, ...) into one.
-        x2 = x.reshape(-1, self.in_features)
-        g2 = grad_out.reshape(-1, self.out_features)
-        self.weight.accumulate_grad(g2.T @ x2)
+        grad_x, grad_w, grad_b = current_backend().linear_backward(
+            self._cache_x,
+            grad_out,
+            self.weight.data,
+            with_bias=self.bias is not None,
+        )
+        self.weight.accumulate_grad(grad_w)
         if self.bias is not None:
-            self.bias.accumulate_grad(g2.sum(axis=0))
-        return (g2 @ self.weight.data).reshape(x.shape)
+            self.bias.accumulate_grad(grad_b)
+        return grad_x
 
     # -- PredictableMixin ------------------------------------------------
     def gradient_size(self) -> int:
@@ -102,8 +103,7 @@ class Conv2d(Module, PredictableMixin):
         self.bias = (
             Parameter(init.zeros((out_channels,)), name="bias") if bias else None
         )
-        self._cache_cols: Optional[np.ndarray] = None
-        self._cache_x_shape: Optional[tuple[int, int, int, int]] = None
+        self._cache_ctx: Optional[ConvCtx] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:
@@ -111,33 +111,28 @@ class Conv2d(Module, PredictableMixin):
                 f"Conv2d expected NCHW input with {self.in_channels} channels, "
                 f"got shape {x.shape}"
             )
-        cols, out_h, out_w = F.im2col(x, self.kernel_size, self.stride, self.padding)
-        self._cache_cols = cols
-        self._cache_x_shape = x.shape
-        w_flat = self.weight.data.reshape(self.out_channels, -1)
-        out = np.einsum("ok,bkl->bol", w_flat, cols, optimize=True)
-        if self.bias is not None:
-            out = out + self.bias.data[None, :, None]
-        return out.reshape(x.shape[0], self.out_channels, out_h, out_w)
-
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._cache_cols is None or self._cache_x_shape is None:
-            raise RuntimeError("backward called before forward")
-        batch = grad_out.shape[0]
-        g_flat = grad_out.reshape(batch, self.out_channels, -1)
-        grad_w = np.einsum("bol,bkl->ok", g_flat, self._cache_cols, optimize=True)
-        self.weight.accumulate_grad(grad_w.reshape(self.weight.data.shape))
-        if self.bias is not None:
-            self.bias.accumulate_grad(g_flat.sum(axis=(0, 2)))
-        w_flat = self.weight.data.reshape(self.out_channels, -1)
-        grad_cols = np.einsum("ok,bol->bkl", w_flat, g_flat, optimize=True)
-        return F.col2im(
-            grad_cols,
-            self._cache_x_shape,
-            self.kernel_size,
+        out, self._cache_ctx = current_backend().conv2d_forward(
+            x,
+            self.weight.data,
+            self.bias.data if self.bias is not None else None,
             self.stride,
             self.padding,
         )
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        ctx = self._cache_ctx
+        if ctx is None:
+            raise RuntimeError("backward called before forward")
+        # Backward runs on the backend that produced the forward context,
+        # so phase-level backend switches can never mix representations.
+        grad_x, grad_w, grad_b = ctx.backend.conv2d_backward(
+            grad_out, self.weight.data, ctx, with_bias=self.bias is not None
+        )
+        self.weight.accumulate_grad(grad_w)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_b)
+        return grad_x
 
     # -- PredictableMixin ------------------------------------------------
     def gradient_size(self) -> int:

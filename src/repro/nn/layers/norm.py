@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..backend import current_backend
 from ..module import Module, Parameter
 from .. import init
 
@@ -31,8 +32,7 @@ class BatchNorm2d(Module):
                 f"got {x.shape}"
             )
         if self.training:
-            mean = x.mean(axis=(0, 2, 3))
-            var = x.var(axis=(0, 2, 3))
+            mean, var = current_backend().moments(x, (0, 2, 3))
             # PyTorch-compatible running stats: the running_var update
             # stores the unbiased (Bessel-corrected) estimate, while
             # normalization below keeps using the biased batch variance.
@@ -93,8 +93,7 @@ class BatchNorm1d(Module):
                 f"BatchNorm1d expected (batch, {self.num_features}), got {x.shape}"
             )
         if self.training:
-            mean = x.mean(axis=0)
-            var = x.var(axis=0)
+            mean, var = current_backend().moments(x, (0,))
             # Unbiased running_var, biased normalization (see BatchNorm2d).
             count = x.shape[0]
             unbiased_var = var * (count / (count - 1)) if count > 1 else var
@@ -142,8 +141,7 @@ class LayerNorm(Module):
             raise ValueError(
                 f"LayerNorm expected last dim {self.normalized_shape}, got {x.shape}"
             )
-        mean = x.mean(axis=-1, keepdims=True)
-        var = x.var(axis=-1, keepdims=True)
+        mean, var = current_backend().moments(x, -1, keepdims=True)
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean) * inv_std
         self._cache = (x_hat, inv_std)
@@ -164,6 +162,8 @@ class LayerNorm(Module):
 
 class Dropout(Module):
     """Inverted dropout; identity when the module is in eval mode."""
+
+    _extra_cache_attrs = ("_mask",)
 
     def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
         super().__init__()

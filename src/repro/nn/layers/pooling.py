@@ -6,7 +6,7 @@ from typing import Optional
 
 import numpy as np
 
-from .. import functional as F
+from ..backend import current_backend
 from ..module import Module
 
 
@@ -29,19 +29,23 @@ class MaxPool2d(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         batch, channels, _, _ = x.shape
+        backend = current_backend()
         # Pad with -inf, not zero: a padded slot must never win the max
         # (a zero pad would beat real negative activations and, worse,
         # rewrite real zero activations — ubiquitous after ReLU — when
         # masked by value), and backward must never route gradient into
         # the padding ring where col2im drops it.
         fill = -np.inf if self.padding > 0 else 0.0
-        cols, out_h, out_w = F.im2col(
+        cols, out_h, out_w = backend.unfold(
             x, self.kernel_size, self.stride, self.padding, fill_value=fill
         )
         k2 = self.kernel_size * self.kernel_size
-        cols = cols.reshape(batch, channels, k2, out_h * out_w)
-        argmax = cols.argmax(axis=2)
-        out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2)[:, :, 0, :]
+        windows = cols.reshape(batch, channels, k2, out_h * out_w)
+        argmax = windows.argmax(axis=2)
+        out = np.take_along_axis(windows, argmax[:, :, None, :], axis=2)[:, :, 0, :]
+        # Only argmax survives into backward; the columns go back to the
+        # workspace pool immediately.
+        backend.release(cols)
         self._cache = (x.shape, argmax, out_h, out_w)
         return np.ascontiguousarray(out.reshape(batch, channels, out_h, out_w))
 
@@ -50,16 +54,28 @@ class MaxPool2d(Module):
             raise RuntimeError("backward called before forward")
         x_shape, argmax, out_h, out_w = self._cache
         batch, channels = x_shape[0], x_shape[1]
+        backend = current_backend()
         k2 = self.kernel_size * self.kernel_size
-        grad_cols = np.zeros((batch, channels, k2, out_h * out_w), dtype=grad_out.dtype)
+        cols_shape = (batch, channels * k2, out_h * out_w)
+        buf = backend.acquire_cols(cols_shape, grad_out.dtype)
+        if buf is None:
+            buf = np.zeros(cols_shape, dtype=grad_out.dtype)
+        else:
+            buf.fill(0.0)
+        grad_cols = buf.reshape(batch, channels, k2, out_h * out_w)
         g_flat = grad_out.reshape(batch, channels, out_h * out_w)
         np.put_along_axis(grad_cols, argmax[:, :, None, :], g_flat[:, :, None, :], axis=2)
-        grad_cols = grad_cols.reshape(batch, channels * k2, out_h * out_w)
-        return F.col2im(grad_cols, x_shape, self.kernel_size, self.stride, self.padding)
+        grad_x = backend.fold(
+            buf, x_shape, self.kernel_size, self.stride, self.padding
+        )
+        backend.release(buf)
+        return grad_x
 
 
 class AvgPool2d(Module):
     """Average pooling with square windows."""
+
+    _extra_cache_attrs = ("_x_shape",)
 
     def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
         super().__init__()
@@ -70,33 +86,43 @@ class AvgPool2d(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         batch, channels, _, _ = x.shape
-        cols, out_h, out_w = F.im2col(x, self.kernel_size, self.stride, self.padding)
+        backend = current_backend()
+        cols, out_h, out_w = backend.unfold(
+            x, self.kernel_size, self.stride, self.padding
+        )
         k2 = self.kernel_size * self.kernel_size
-        cols = cols.reshape(batch, channels, k2, out_h * out_w)
+        out = cols.reshape(batch, channels, k2, out_h * out_w).mean(axis=2)
+        backend.release(cols)
         self._x_shape = x.shape
-        return cols.mean(axis=2).reshape(batch, channels, out_h, out_w)
+        return out.reshape(batch, channels, out_h, out_w)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._x_shape is None:
             raise RuntimeError("backward called before forward")
         batch, channels = self._x_shape[0], self._x_shape[1]
         out_h, out_w = grad_out.shape[2], grad_out.shape[3]
+        backend = current_backend()
         k2 = self.kernel_size * self.kernel_size
         g = grad_out.reshape(batch, channels, 1, out_h * out_w) / k2
-        grad_cols = np.broadcast_to(
-            g, (batch, channels, k2, out_h * out_w)
-        ).reshape(batch, channels * k2, out_h * out_w)
-        return F.col2im(
-            np.ascontiguousarray(grad_cols),
-            self._x_shape,
-            self.kernel_size,
-            self.stride,
-            self.padding,
+        spread = np.broadcast_to(g, (batch, channels, k2, out_h * out_w))
+        cols_shape = (batch, channels * k2, out_h * out_w)
+        buf = backend.acquire_cols(cols_shape, grad_out.dtype)
+        if buf is None:
+            grad_cols = np.ascontiguousarray(spread).reshape(cols_shape)
+        else:
+            np.copyto(buf.reshape(spread.shape), spread)
+            grad_cols = buf
+        grad_x = backend.fold(
+            grad_cols, self._x_shape, self.kernel_size, self.stride, self.padding
         )
+        backend.release(grad_cols)
+        return grad_x
 
 
 class AdaptiveAvgPool2d(Module):
     """Average-pool to a fixed output size regardless of input size."""
+
+    _extra_cache_attrs = ("_x_shape",)
 
     def __init__(self, output_size: tuple[int, int] | int):
         super().__init__()
@@ -107,16 +133,20 @@ class AdaptiveAvgPool2d(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x_shape = x.shape
-        return F.adaptive_avg_pool2d(x, self.output_size)
+        return current_backend().adaptive_avg_pool2d(x, self.output_size)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._x_shape is None:
             raise RuntimeError("backward called before forward")
-        return F.adaptive_avg_pool2d_backward(grad_out, self._x_shape)
+        return current_backend().adaptive_avg_pool2d_backward(
+            grad_out, self._x_shape
+        )
 
 
 class GlobalAvgPool2d(Module):
     """Average over all spatial positions, producing (batch, channels)."""
+
+    _extra_cache_attrs = ("_x_shape",)
 
     def __init__(self) -> None:
         super().__init__()

@@ -71,6 +71,11 @@ class Module:
     observe activations and, in Phase GP, update weights immediately.
     """
 
+    #: Extra attribute names (beyond the ``_cache*`` prefix convention)
+    #: that :meth:`clear_caches` resets — subclasses with differently
+    #: named forward caches (masks, saved shapes) list them here.
+    _extra_cache_attrs: tuple[str, ...] = ()
+
     def __init__(self) -> None:
         self.training = True
         self.forward_hook: Optional[ForwardHook] = None
@@ -150,6 +155,32 @@ class Module:
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.zero_grad()
+
+    def clear_caches(self) -> "Module":
+        """Drop every forward cache in this module tree.
+
+        Layer caches (conv columns, pooling argmax, normalization
+        ``x_hat``) are the largest allocations of a training step and
+        would otherwise stay pinned until the *next* forward overwrites
+        them; the engine calls this after each batch to cut peak memory
+        between batches.  Backward requires a fresh forward afterwards.
+        Cache objects exposing ``release()`` (backend conv contexts
+        holding a pooled workspace) are released back to their pool
+        first.
+        """
+        for module in self.modules():
+            module._clear_cache()
+        return self
+
+    def _clear_cache(self) -> None:
+        for key, value in self.__dict__.items():
+            if value is None:
+                continue
+            if key.startswith("_cache") or key in self._extra_cache_attrs:
+                release = getattr(value, "release", None)
+                if callable(release):
+                    release()
+                self.__dict__[key] = None
 
     def train(self) -> "Module":
         for module in self.modules():

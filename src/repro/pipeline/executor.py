@@ -41,6 +41,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..accel.config import AcceleratorConfig
+from ..nn.backend import BackendSpec, backend_scope, resolve_backend
 from ..nn.layers.core import Sequential
 from ..nn.module import Module, Parameter
 from .partition import StagePlan, partition_sequential
@@ -115,6 +116,7 @@ class PipelineExecutor:
         micro_batches: int = 4,
         kind: PipelineKind = PipelineKind.GPIPE,
         plan: Optional[StagePlan] = None,
+        backend: Optional[BackendSpec] = None,
     ) -> None:
         if kind == PipelineKind.CHIMERA:
             raise ValueError(
@@ -122,6 +124,11 @@ class PipelineExecutor:
                 "bidirectional mapping needs two model replicas per device"
             )
         self.stages = list(stages)
+        # Backend every stage slot computes under.  ``None`` inherits the
+        # caller's scope — which is how stages inherit the engine's
+        # backend when driven by PipelineGPStrategy; an explicit backend
+        # pins standalone (benchmark) runs.
+        self.backend = resolve_backend(backend)
         self.config = PipelineConfig(
             num_stages=len(self.stages), micro_batches=micro_batches
         )
@@ -145,12 +152,15 @@ class PipelineExecutor:
         kind: PipelineKind = PipelineKind.GPIPE,
         batch: int = 1,
         accel_config: Optional[AcceleratorConfig] = None,
+        backend: Optional[BackendSpec] = None,
     ) -> "PipelineExecutor":
         """Partition ``model`` (accel cost model) and build an executor."""
         stages, plan = partition_sequential(
             model, num_stages, input_shape, batch=batch, config=accel_config
         )
-        return cls(stages, micro_batches=micro_batches, kind=kind, plan=plan)
+        return cls(
+            stages, micro_batches=micro_batches, kind=kind, plan=plan, backend=backend
+        )
 
     # ------------------------------------------------------------------
     def reset_clock(self) -> None:
@@ -235,6 +245,19 @@ class PipelineExecutor:
     ) -> BatchRun:
         """Execute per-stage op lists under data dependencies, measuring
         each slot and placing it on the virtual device clocks."""
+        with backend_scope(self.backend):
+            return self._run_ops_inner(
+                op_lists, micro_inputs, micro_targets, loss_fn, backward
+            )
+
+    def _run_ops_inner(
+        self,
+        op_lists: list[list[tuple[str, int]]],
+        micro_inputs: list[np.ndarray],
+        micro_targets: Optional[list[np.ndarray]],
+        loss_fn: Optional[LossFn],
+        backward: bool,
+    ) -> BatchRun:
         stages = self.config.num_stages
         last = stages - 1
         total = sum(x.shape[0] for x in micro_inputs)

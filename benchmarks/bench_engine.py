@@ -14,6 +14,14 @@ recorded into ``BENCH_engine.json`` for cross-PR tracking:
 3. **FusedBackend vs NumpyBackend** on a full ResNet50-mini BP batch —
    the blocking CI gate of the backend refactor (>= 1.3x; both numbers
    come from the same process, so machine noise largely cancels).
+4. **GP-stream fast path** (``BENCH_gp.json``) — one full BP training
+   step vs a hooked-GP step vs a batched-GP step, all no-grad on the
+   fused backend, plus workspace-pool counters as the peak-allocation
+   proxy.  Blocking CI gate: the batched no-grad GP step must be
+   >= 1.5x faster than the BP step (the paper's Phase-GP asymmetry,
+   measured rather than simulated); the hooked §3.4-faithful step must
+   still beat BP outright while paying the per-layer predictor alpha
+   per invocation.
 
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_engine.py -q
 """
@@ -37,6 +45,7 @@ from repro.nn.losses import CrossEntropyLoss
 
 MIN_BATCHED_SPEEDUP = 1.5
 MIN_FUSED_SPEEDUP = 1.3
+MIN_GP_STREAM_SPEEDUP = 1.5
 
 
 def _resnet_entries(seed=0):
@@ -165,6 +174,126 @@ def test_bench_engine_phase_rates(benchmark):
     print(f"\n{timer.summary()}")
     # Skipping backward must pay off in software too.
     assert gp_rate > bp_rate
+
+
+def test_bench_gp_stream_gate(benchmark):
+    """No-grad Phase-GP steps vs a full BP training step (blocking gate).
+
+    Three step kinds through the engine on ResNet50-mini, fused backend:
+
+    * ``bp`` — plain backprop training batch (forward + loss grad + full
+      backward + optimizer step), no predictor training: the §3.4
+      baseline cost;
+    * ``gp_hooked`` — Phase GP with per-layer predict hooks (paper
+      semantics, predictor alpha paid per layer);
+    * ``gp_batched`` — Phase GP with one stacked ``predict_many`` and a
+      grouped optimizer apply after the no-grad forward.
+
+    Gate: the batched no-grad GP step is >= 1.5x faster than the BP
+    step, and the hooked step still beats BP outright.  Workspace-pool
+    counters around a GP step are recorded as the peak-allocation proxy
+    — a warm no-grad stream must run miss-free with zero outstanding
+    checkouts.
+    """
+    from repro.core.engine.strategies import (
+        BackpropStrategy,
+        GradPredictStrategy,
+    )
+    from repro.nn.backend import backend_scope
+
+    loss_fn = CrossEntropyLoss()
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((16, 3, 16, 16)).astype(np.float32)
+    y = rng.integers(0, 10, 16)
+    engine = adagp_engine(
+        build_mini("ResNet50", 10, rng=np.random.default_rng(1)),
+        loss_fn,
+        lr=0.05,
+        backend="fused",
+    )
+    # Plain BP (no predictor training) for the paper-faithful baseline.
+    strategies = {
+        "bp": BackpropStrategy(),
+        "gp_hooked": GradPredictStrategy(),
+        "gp_batched": GradPredictStrategy(batched_predict=True),
+    }
+    for strategy in strategies.values():
+        strategy.bind(engine)
+
+    def step(name):
+        phase = Phase.BP if name == "bp" else Phase.GP
+        with backend_scope(engine.backend):
+            strategies[name].train_batch(x, y, phase)
+        engine.model.clear_caches()
+
+    # Warm every path (BLAS planning, workspace pool, predictor scales).
+    for name in strategies:
+        step(name)
+        step(name)
+
+    # Pool counters across one warm hooked-GP step: the peak-allocation
+    # proxy.  A no-grad stream must be allocation-free (all workspace
+    # acquisitions served by the pool) and leave nothing checked out.
+    pool = nn.get_backend("fused").pool
+    pool.reset_stats()
+    step("gp_hooked")
+    pool_stats = pool.stats()
+
+    # Per-variant blocks of rounds (a GP step mutates weights, so the
+    # variants cannot share one model state trajectory anyway); each
+    # block is short enough that machine drift between blocks stays
+    # well inside the gate margin.
+    rounds = 25
+    times: dict[str, list[float]] = {name: [] for name in strategies}
+
+    def measure():
+        for name in strategies:
+            for _ in range(rounds):
+                start = time.perf_counter()
+                step(name)
+                times[name].append(time.perf_counter() - start)
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    medians = {
+        name: float(np.median(values)) for name, values in times.items()
+    }
+    hooked_speedup = medians["bp"] / medians["gp_hooked"]
+    batched_speedup = medians["bp"] / medians["gp_batched"]
+    benchmark.extra_info["bp_ms"] = medians["bp"] * 1e3
+    benchmark.extra_info["gp_hooked_ms"] = medians["gp_hooked"] * 1e3
+    benchmark.extra_info["gp_batched_ms"] = medians["gp_batched"] * 1e3
+    benchmark.extra_info["batched_speedup"] = batched_speedup
+    record(
+        "BENCH_gp.json",
+        "gp_stream",
+        {
+            "model": "ResNet50-mini",
+            "batch": 16,
+            "backend": "fused",
+            "bp_step_ms": medians["bp"] * 1e3,
+            "gp_hooked_step_ms": medians["gp_hooked"] * 1e3,
+            "gp_batched_step_ms": medians["gp_batched"] * 1e3,
+            "gp_hooked_speedup": hooked_speedup,
+            "gp_batched_speedup": batched_speedup,
+            "gate": MIN_GP_STREAM_SPEEDUP,
+            "gp_step_pool": pool_stats,
+        },
+    )
+    print(
+        f"\nResNet50-mini steps: bp {medians['bp'] * 1e3:.2f} ms, "
+        f"hooked gp {medians['gp_hooked'] * 1e3:.2f} ms "
+        f"({hooked_speedup:.2f}x), batched gp "
+        f"{medians['gp_batched'] * 1e3:.2f} ms ({batched_speedup:.2f}x); "
+        f"gp-step pool {pool_stats}"
+    )
+    # The no-grad stream must be allocation-free once the pool is warm.
+    assert pool_stats["misses"] == 0
+    assert pool_stats["outstanding"] == 0
+    # Skipping backward must beat the full BP step even with the
+    # per-layer predictor alpha paid in software...
+    assert hooked_speedup > 1.0
+    # ...and the batched no-grad stream is the blocking 1.5x gate.
+    assert batched_speedup >= MIN_GP_STREAM_SPEEDUP
 
 
 def _time_op(fn, rounds=30):

@@ -1,6 +1,13 @@
 """Systolic-accelerator simulator: cycles, traffic, energy, area/power."""
 
 from .adagp import AcceleratorModel, BatchCost, LayerPhaseCost
+from .calibrate import (
+    CalibrationReport,
+    OpCalibration,
+    calibrate,
+    calibrate_from_bench,
+    calibrated_config,
+)
 from .area import (
     AsicArea,
     AsicPower,
@@ -43,6 +50,11 @@ __all__ = [
     "AcceleratorModel",
     "BatchCost",
     "LayerPhaseCost",
+    "CalibrationReport",
+    "OpCalibration",
+    "calibrate",
+    "calibrate_from_bench",
+    "calibrated_config",
     "AsicArea",
     "AsicPower",
     "FpgaPower",

@@ -204,22 +204,23 @@ class TrainingEngine:
         )
 
     def evaluate(self, batches: Iterable[Batch]) -> tuple[float, float]:
-        """Mean (loss, metric) over validation batches, hooks disabled."""
+        """Mean (loss, metric) over validation batches, hooks disabled.
+
+        Runs entirely under :func:`~repro.nn.no_grad` with a value-only
+        loss: evaluation can never backpropagate, so no layer retains a
+        backward cache and (in eval mode) the fused backend's folded
+        conv+BN path applies.
+        """
         self.model.eval()
         self.clear_hooks()
         losses: list[float] = []
         metrics: list[float] = []
-        with backend_scope(self.backend):
+        with backend_scope(self.backend), nn.no_grad():
             for inputs, targets in batches:
                 outputs = self.model(inputs)
-                loss, _ = self.loss_fn(outputs, targets)
-                losses.append(loss)
+                losses.append(nn.loss_value(self.loss_fn, outputs, targets))
                 if self.metric_fn is not None:
                     metrics.append(self.metric_fn(outputs, targets))
-                # Per batch, not once at the end: releases each batch's
-                # conv workspaces so a pooled backend reuses them on the
-                # next eval batch instead of reallocating.
-                self.model.clear_caches()
         self.model.train()
         mean_metric = float(np.mean(metrics)) if metrics else float("nan")
         return float(np.mean(losses)), mean_metric

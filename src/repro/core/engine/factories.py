@@ -64,6 +64,7 @@ def adagp_engine(
     predictor_milestones: tuple[int, ...] = (20, 40),
     gp_optimizer: Optional[Optimizer] = None,
     batched_predictor: bool = True,
+    batched_gp: bool = False,
     callbacks: Iterable[Callback] = (),
     backend: Optional[BackendSpec] = None,
     gp_backend: Optional[BackendSpec] = None,
@@ -81,6 +82,14 @@ def adagp_engine(
     in Phase BP (the fast path); the per-layer loop remains available
     for exact reproduction of the pre-engine trajectories.
 
+    ``batched_gp`` selects the batched Phase-GP mode: predictions for
+    every predictable layer fire as one stacked ``predict_many`` call
+    (plus one grouped optimizer apply) *after* the no-grad forward,
+    instead of per-layer hooks applying updates in flight.  Default off
+    — the per-layer immediacy is §3.4's semantics; see
+    ``examples/batched_gp_tradeoff.py`` for the accuracy/throughput
+    trade.
+
     ``backend`` selects the compute backend for every batch;
     ``gp_backend`` additionally pins Phase-GP forward streams to their
     own backend (e.g. ``backend="numpy", gp_backend="fused"``).
@@ -97,7 +106,9 @@ def adagp_engine(
         strategies={
             Phase.WARMUP: bp_strategy,
             Phase.BP: bp_strategy,
-            Phase.GP: GradPredictStrategy(backend=gp_backend),
+            Phase.GP: GradPredictStrategy(
+                batched_predict=batched_gp, backend=gp_backend
+            ),
         },
         schedule=schedule or HeuristicSchedule(),
         metric_fn=metric_fn,

@@ -9,8 +9,11 @@ applied (paper §2/§3).  Each variant is a :class:`PhaseStrategy`:
   predictor additionally learns every predictable layer's true gradient,
   through the batched fast path by default.
 * :class:`GradPredictStrategy` — ADA-GP's Phase GP (§3.4): backprop is
-  skipped; a forward hook applies each layer's predicted update the
-  moment that layer's forward pass completes.
+  skipped and the batch runs under :func:`~repro.nn.no_grad` (no
+  backward caches are retained anywhere); a forward hook applies each
+  layer's predicted update the moment that layer's forward pass
+  completes, or ``batched_predict=True`` defers to one stacked
+  ``predict_many`` + grouped apply after the forward.
 * :class:`DNIStrategy` — the §2 baseline: synthetic gradients are
   applied during *every* forward pass and full backprop still runs
   afterwards, so it never saves backward work.
@@ -28,7 +31,8 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from ...nn.backend import BackendSpec, resolve_backend
-from ...nn.module import Module
+from ...nn.losses import loss_value
+from ...nn.module import Module, no_grad
 from ..schedule import Phase
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -72,6 +76,20 @@ class PhaseStrategy:
         raise NotImplementedError
 
 
+def install_capture_hooks(
+    engine: "TrainingEngine", store: dict[int, np.ndarray]
+) -> None:
+    """Hook every predictable layer to record its output into ``store``
+    (keyed by ``id(layer)``) — the activation-capture side of both
+    predictor training and batched Phase-GP."""
+
+    def hook(layer: Module, output: np.ndarray) -> None:
+        store[id(layer)] = output
+
+    for layer in engine.layers:
+        layer.forward_hook = hook
+
+
 class BackpropStrategy(PhaseStrategy):
     """Standard backprop batch, optionally also training the predictor.
 
@@ -97,20 +115,13 @@ class BackpropStrategy(PhaseStrategy):
         self.batched = batched
         self._activations: dict[int, np.ndarray] = {}
 
-    def _install_capture_hooks(self) -> None:
-        def hook(layer: Module, output: np.ndarray) -> None:
-            self._activations[id(layer)] = output
-
-        for layer in self.engine.layers:
-            layer.forward_hook = hook
-
     def train_batch(self, inputs, targets, phase: Phase) -> BatchResult:
         engine = self.engine
         engine.model.train()
         capture = self.train_predictor and engine.predictor is not None
         if capture:
             self._activations.clear()
-            self._install_capture_hooks()
+            install_capture_hooks(engine, self._activations)
         try:
             outputs = engine.model(inputs)
             loss, grad = engine.loss_fn(outputs, targets)
@@ -187,24 +198,82 @@ def install_predict_hooks(engine: "TrainingEngine") -> None:
 
 
 class GradPredictStrategy(PhaseStrategy):
-    """Phase GP batch: forward-only with per-layer predicted updates.
+    """Phase GP batch: forward-only with predicted updates, under no-grad.
 
-    Predictions are applied by a forward hook the moment each layer's
-    forward pass completes (§3.4), through ``engine.gp_optimizer`` —
-    the plain-MAC update path the hardware implements.  The loss is
-    computed for monitoring only; no gradient ever touches
-    ``param.grad``.
+    The whole batch runs inside :func:`~repro.nn.no_grad` — backprop can
+    never happen in Phase GP, so no layer retains a backward cache, conv
+    im2col workspaces return to the backend pool mid-forward, and the
+    loss is evaluated value-only (:func:`~repro.nn.losses.loss_value`)
+    for monitoring; no gradient ever touches ``param.grad``.
+
+    ``batched_predict`` selects *when* predictions are applied:
+
+    * ``False`` (default, §3.4-faithful): a forward hook applies each
+      layer's predicted update the moment its forward completes — the
+      in-flight timing the accelerator implements (the update lands on
+      weights whose forward work for this batch is already done, so on
+      a single-pass feed-forward chain the resulting weights equal the
+      deferred mode's; the timing matters for hardware overlap, for
+      models that reuse a layer object within one forward, and across
+      batches).
+    * ``True``: the forward only *collects* predictable-layer
+      activations; afterwards one stacked
+      :meth:`~repro.core.predictor.GradientPredictor.predict_many` trunk
+      call predicts every layer and one grouped
+      ``gp_optimizer.apply_gradients`` applies them — far fewer
+      predictor invocations per batch, updates landing after the
+      forward instead of during it (the ROADMAP "Batched GP phase"
+      item; accuracy/throughput comparison in
+      ``examples/batched_gp_tradeoff.py``).
     """
+
+    def __init__(
+        self,
+        batched_predict: bool = False,
+        backend: Optional[BackendSpec] = None,
+    ) -> None:
+        super().__init__(backend=backend)
+        self.batched_predict = batched_predict
+        self._activations: dict[int, np.ndarray] = {}
+
+    def _apply_collected(self) -> None:
+        """One stacked predict + one grouped optimizer apply (post-forward)."""
+        engine = self.engine
+        entries = [
+            (layer, self._activations[id(layer)])
+            for layer in engine.layers
+            if id(layer) in self._activations
+        ]
+        self._activations.clear()
+        if not entries:
+            return
+        layers = [layer for layer, _ in entries]
+        predictions = engine.predictor.predict_many(
+            layers, [output for _, output in entries]
+        )
+        updates = []
+        for layer, (weight_grad, bias_grad) in zip(layers, predictions):
+            updates.append((layer.weight, weight_grad))
+            if layer.bias is not None and bias_grad is not None:
+                updates.append((layer.bias, bias_grad))
+        engine.gp_optimizer.apply_gradients(updates)
 
     def train_batch(self, inputs, targets, phase: Phase) -> BatchResult:
         engine = self.engine
         engine.model.train()
-        install_predict_hooks(engine)
+        if self.batched_predict:
+            self._activations.clear()
+            install_capture_hooks(engine, self._activations)
+        else:
+            install_predict_hooks(engine)
         try:
-            outputs = engine.model(inputs)
+            with no_grad():
+                outputs = engine.model(inputs)
         finally:
             engine.clear_hooks()
-        loss, _ = engine.loss_fn(outputs, targets)  # monitoring only
+        if self.batched_predict:
+            self._apply_collected()
+        loss = loss_value(engine.loss_fn, outputs, targets)  # monitoring only
         return BatchResult(loss=loss, phase=Phase.GP)
 
 
@@ -321,7 +390,14 @@ class PipelineGPStrategy(BackpropStrategy):
             if engine.predictor is not None:
                 self._install_pipeline_predict_hooks()
             try:
-                run = self.executor.run_gp_batch(inputs, targets, engine.loss_fn)
+                # Forward-only micro-batch streams: no stage will ever
+                # run backward on them, so the whole streamed batch is
+                # cache-free (predict hooks still fire inside the
+                # measured slots).
+                with no_grad():
+                    run = self.executor.run_gp_batch(
+                        inputs, targets, engine.loss_fn
+                    )
             finally:
                 engine.clear_hooks()
             return BatchResult(loss=run.loss, phase=Phase.GP)

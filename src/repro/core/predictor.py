@@ -164,10 +164,17 @@ class GradientPredictor:
         return np.clip(rows * scale, -bound, bound)
 
     def predict_rows(self, layer: PredictableMixin, output: np.ndarray) -> np.ndarray:
-        """Raw masked prediction rows for a layer, in gradient units."""
+        """Raw masked prediction rows for a layer, in gradient units.
+
+        Prediction is inherently forward-only — the predictor trains
+        against true gradients elsewhere (:meth:`train_step`) — so the
+        network runs under :func:`~repro.nn.no_grad` and retains none of
+        its own backward caches.
+        """
         row = self._check_capacity(layer)
         reorganized = reorganize.reorganize_activations(layer, output)
-        full = self.network(reorganized)
+        with nn.no_grad():
+            full = self.network(reorganized)
         return self._denormalize_rows(layer, full[:, :row])
 
     def predict(
@@ -212,9 +219,11 @@ class GradientPredictor:
 
         Numerically equivalent to calling :meth:`predict` per layer (the
         trunk treats samples independently); one network invocation
-        instead of ``len(layers)``.
+        instead of ``len(layers)``, run under no-grad like
+        :meth:`predict_rows`.
         """
-        full, slices = self._stacked_forward(layers, outputs)
+        with nn.no_grad():
+            full, slices = self._stacked_forward(layers, outputs)
         results = []
         for layer, (start, units, row) in zip(layers, slices):
             rows = self._denormalize_rows(layer, full[start : start + units, :row])

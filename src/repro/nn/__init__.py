@@ -27,8 +27,17 @@ from .losses import (
     MSELoss,
     SmoothL1Loss,
     accuracy,
+    loss_value,
 )
-from .module import Module, Parameter, PredictableMixin, predictable_layers
+from .module import (
+    NO_GRAD,
+    Module,
+    Parameter,
+    PredictableMixin,
+    is_grad_enabled,
+    no_grad,
+    predictable_layers,
+)
 from .optim import SGD, Adam, MultiStepLR, ReduceLROnPlateau
 
 __all__ = [
@@ -51,9 +60,13 @@ __all__ = [
     "MSELoss",
     "SmoothL1Loss",
     "accuracy",
+    "loss_value",
     "Module",
+    "NO_GRAD",
     "Parameter",
     "PredictableMixin",
+    "is_grad_enabled",
+    "no_grad",
     "predictable_layers",
     "SGD",
     "Adam",

@@ -7,7 +7,7 @@ from typing import Optional
 import numpy as np
 
 from .. import functional as F
-from ..module import Module
+from ..module import NO_GRAD, Module, check_backward_cache, is_grad_enabled
 
 
 class ReLU(Module):
@@ -18,12 +18,15 @@ class ReLU(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if not is_grad_enabled():
+            # No mask materialized at all in forward-only streams.
+            self._mask = NO_GRAD
+            return np.maximum(x, 0.0)
         self._mask = x > 0.0
         return np.where(self._mask, x, 0.0)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._mask is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._mask, self)
         return np.where(self._mask, grad_out, 0.0)
 
 
@@ -36,12 +39,14 @@ class LeakyReLU(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if not is_grad_enabled():
+            self._mask = NO_GRAD
+            return np.where(x > 0.0, x, self.slope * x)
         self._mask = x > 0.0
         return np.where(self._mask, x, self.slope * x)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._mask is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._mask, self)
         return np.where(self._mask, grad_out, self.slope * grad_out)
 
 
@@ -55,12 +60,14 @@ class ReLU6(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if not is_grad_enabled():
+            self._mask = NO_GRAD
+            return np.clip(x, 0.0, 6.0)
         self._mask = (x > 0.0) & (x < 6.0)
         return np.clip(x, 0.0, 6.0)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._mask is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._mask, self)
         return np.where(self._mask, grad_out, 0.0)
 
 
@@ -72,12 +79,12 @@ class Sigmoid(Module):
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._out = F.sigmoid(x)
-        return self._out
+        out = F.sigmoid(x)
+        self._out = out if is_grad_enabled() else NO_GRAD
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._out is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._out, self)
         return grad_out * self._out * (1.0 - self._out)
 
 
@@ -89,12 +96,12 @@ class Tanh(Module):
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._out = np.tanh(x)
-        return self._out
+        out = np.tanh(x)
+        self._out = out if is_grad_enabled() else NO_GRAD
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._out is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._out, self)
         return grad_out * (1.0 - self._out**2)
 
 
@@ -110,13 +117,12 @@ class GELU(Module):
         self._x: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._x = x
+        self._x = x if is_grad_enabled() else NO_GRAD
         inner = self._C * (x + 0.044715 * x**3)
         return 0.5 * x * (1.0 + np.tanh(inner))
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._x is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._x, self)
         x = self._x
         inner = self._C * (x + 0.044715 * x**3)
         tanh_inner = np.tanh(inner)

@@ -8,7 +8,7 @@ import numpy as np
 
 from .. import functional as F
 from ..backend import current_backend
-from ..module import Module
+from ..module import NO_GRAD, Module, check_backward_cache, is_grad_enabled
 from .core import Linear
 
 
@@ -75,15 +75,16 @@ class MultiHeadAttention(Module):
             scores = np.where(mask.astype(bool), scores, np.float32(-1e9))
         attn = F.softmax(scores, axis=-1)
         context = backend.attn_context(attn, v)
-        self._cache = (q, k, v, attn, scale)
+        # Under no_grad the per-head q/k/v and the full attention matrix
+        # — the layer's largest retained tensors — are not kept.
+        self._cache = (q, k, v, attn, scale) if is_grad_enabled() else NO_GRAD
         return self.out_proj(self._merge_heads(context))
 
     def backward_attend(
         self, grad_out: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Backward through attention; returns (d_query, d_key, d_value)."""
-        if self._cache is None:
-            raise RuntimeError("backward_attend called before attend")
+        check_backward_cache(self._cache, self)
         backend = current_backend()
         q, k, v, attn, scale = self._cache
         d_context = self._split_heads(self.out_proj.backward(grad_out))

@@ -11,7 +11,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..module import Module
+from ..module import NO_GRAD, Module, check_backward_cache, is_grad_enabled
 from .core import Identity, Sequential
 
 
@@ -55,12 +55,13 @@ class ConcatBranches(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         outputs = [branch(x) for branch in self.branches]
-        self._split_sizes = [out.shape[1] for out in outputs]
+        self._split_sizes = (
+            [out.shape[1] for out in outputs] if is_grad_enabled() else NO_GRAD
+        )
         return np.concatenate(outputs, axis=1)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._split_sizes is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._split_sizes, self)
         grad_in = None
         offset = 0
         for branch, size in zip(self.branches, self._split_sizes):
@@ -82,13 +83,12 @@ class DenseConcat(Module):
         self._in_channels: Optional[int] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._in_channels = x.shape[1]
+        self._in_channels = x.shape[1] if is_grad_enabled() else NO_GRAD
         new_features = self.main(x)
         return np.concatenate([x, new_features], axis=1)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._in_channels is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._in_channels, self)
         grad_passthrough = np.ascontiguousarray(grad_out[:, : self._in_channels])
         grad_new = np.ascontiguousarray(grad_out[:, self._in_channels :])
         return grad_passthrough + self.main.backward(grad_new)

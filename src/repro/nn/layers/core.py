@@ -8,7 +8,14 @@ import numpy as np
 
 from .. import init
 from ..backend import ConvCtx, current_backend
-from ..module import Module, Parameter, PredictableMixin
+from ..module import (
+    NO_GRAD,
+    Module,
+    Parameter,
+    PredictableMixin,
+    check_backward_cache,
+    is_grad_enabled,
+)
 
 
 class Linear(Module, PredictableMixin):
@@ -43,14 +50,13 @@ class Linear(Module, PredictableMixin):
             raise ValueError(
                 f"Linear expected last dim {self.in_features}, got {x.shape}"
             )
-        self._cache_x = x
+        self._cache_x = x if is_grad_enabled() else NO_GRAD
         return current_backend().linear_forward(
             x, self.weight.data, self.bias.data if self.bias is not None else None
         )
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._cache_x is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._cache_x, self)
         grad_x, grad_w, grad_b = current_backend().linear_backward(
             self._cache_x,
             grad_out,
@@ -111,19 +117,26 @@ class Conv2d(Module, PredictableMixin):
                 f"Conv2d expected NCHW input with {self.in_channels} channels, "
                 f"got shape {x.shape}"
             )
-        out, self._cache_ctx = current_backend().conv2d_forward(
+        out, ctx = current_backend().conv2d_forward(
             x,
             self.weight.data,
             self.bias.data if self.bias is not None else None,
             self.stride,
             self.padding,
         )
+        if is_grad_enabled():
+            self._cache_ctx = ctx
+        else:
+            # Forward-only stream: the im2col workspace goes straight
+            # back to the backend pool so the next same-shaped conv
+            # reuses it instead of allocating.
+            ctx.release()
+            self._cache_ctx = NO_GRAD
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         ctx = self._cache_ctx
-        if ctx is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(ctx, self)
         # Backward runs on the backend that produced the forward context,
         # so phase-level backend switches can never mix representations.
         grad_x, grad_w, grad_b = ctx.backend.conv2d_backward(
@@ -157,12 +170,11 @@ class Flatten(Module):
         self._cache_shape: Optional[tuple[int, ...]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._cache_shape = x.shape
+        self._cache_shape = x.shape if is_grad_enabled() else NO_GRAD
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._cache_shape is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._cache_shape, self)
         return grad_out.reshape(self._cache_shape)
 
 
@@ -195,8 +207,61 @@ class Sequential(Module):
         return iter(self.layers)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if not is_grad_enabled():
+            return self._forward_no_grad(x)
         for layer in self.layers:
             x = layer(x)
+        return x
+
+    def _forward_no_grad(self, x: np.ndarray) -> np.ndarray:
+        """Forward-only pass: folds Conv2d -> BatchNorm2d (-> ReLU) runs
+        into a single GEMM when the active backend supports it.
+
+        Folding requires the BN to normalize with *fixed* statistics —
+        i.e. eval mode — because the folded weights are precomputed
+        before the conv output (and hence its batch moments) exists; a
+        train-mode BN in a no-grad stream keeps the layer-by-layer path.
+        It also steps aside whenever a forward hook is installed on any
+        folded layer (the hook's per-layer output would never
+        materialize).
+        """
+        from .activations import ReLU
+        from .norm import BatchNorm2d
+
+        backend = current_backend()
+        fold = getattr(backend, "folded_conv_bn", None)
+        layers = self.layers
+        n = len(layers)
+        i = 0
+        while i < n:
+            layer = layers[i]
+            if (
+                fold is not None
+                and i + 1 < n
+                and type(layer) is Conv2d
+                and type(layers[i + 1]) is BatchNorm2d
+                and not layers[i + 1].training
+                and layer.forward_hook is None
+                and layers[i + 1].forward_hook is None
+                and layers[i + 1].num_features == layer.out_channels
+            ):
+                bn = layers[i + 1]
+                relu = (
+                    i + 2 < n
+                    and type(layers[i + 2]) is ReLU
+                    and layers[i + 2].forward_hook is None
+                )
+                x = fold(layer, bn, x, relu=relu)
+                layer._cache_ctx = NO_GRAD
+                bn._cache = NO_GRAD
+                if relu:
+                    layers[i + 2]._mask = NO_GRAD
+                    i += 3
+                else:
+                    i += 2
+                continue
+            x = layer(x)
+            i += 1
         return x
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

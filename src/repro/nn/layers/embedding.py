@@ -7,7 +7,13 @@ from typing import Optional
 import numpy as np
 
 from .. import init
-from ..module import Module, Parameter
+from ..module import (
+    NO_GRAD,
+    Module,
+    Parameter,
+    check_backward_cache,
+    is_grad_enabled,
+)
 
 
 class Embedding(Module):
@@ -38,12 +44,11 @@ class Embedding(Module):
                 f"token ids out of range [0, {self.num_embeddings}): "
                 f"[{token_ids.min()}, {token_ids.max()}]"
             )
-        self._cache_ids = token_ids
+        self._cache_ids = token_ids if is_grad_enabled() else NO_GRAD
         return self.weight.data[token_ids]
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._cache_ids is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._cache_ids, self)
         grad_w = np.zeros_like(self.weight.data)
         flat_ids = self._cache_ids.reshape(-1)
         flat_grad = grad_out.reshape(-1, self.embedding_dim)

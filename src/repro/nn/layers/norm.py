@@ -7,7 +7,13 @@ from typing import Optional
 import numpy as np
 
 from ..backend import current_backend
-from ..module import Module, Parameter
+from ..module import (
+    NO_GRAD,
+    Module,
+    Parameter,
+    check_backward_cache,
+    is_grad_enabled,
+)
 from .. import init
 
 
@@ -23,6 +29,9 @@ class BatchNorm2d(Module):
         self.bias = Parameter(init.zeros((num_features,)), name="bias")
         self.running_mean = np.zeros(num_features, dtype=np.float32)
         self.running_var = np.ones(num_features, dtype=np.float32)
+        # Bumped whenever the running stats change; the fused backend's
+        # folded conv+BN cache keys on it (plus Parameter versions).
+        self.stats_version = 0
         self._cache: Optional[tuple] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -44,20 +53,20 @@ class BatchNorm2d(Module):
             self.running_var = (
                 (1 - self.momentum) * self.running_var + self.momentum * unbiased_var
             ).astype(np.float32)
+            self.stats_version += 1
         else:
             mean = self.running_mean
             var = self.running_var
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
-        self._cache = (x_hat, inv_std)
+        self._cache = (x_hat, inv_std) if is_grad_enabled() else NO_GRAD
         return (
             self.weight.data[None, :, None, None] * x_hat
             + self.bias.data[None, :, None, None]
         )
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._cache is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._cache, self)
         x_hat, inv_std = self._cache
         axes = (0, 2, 3)
         count = grad_out.shape[0] * grad_out.shape[2] * grad_out.shape[3]
@@ -85,6 +94,7 @@ class BatchNorm1d(Module):
         self.bias = Parameter(init.zeros((num_features,)), name="bias")
         self.running_mean = np.zeros(num_features, dtype=np.float32)
         self.running_var = np.ones(num_features, dtype=np.float32)
+        self.stats_version = 0
         self._cache: Optional[tuple] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -94,6 +104,7 @@ class BatchNorm1d(Module):
             )
         if self.training:
             mean, var = current_backend().moments(x, (0,))
+            self.stats_version += 1
             # Unbiased running_var, biased normalization (see BatchNorm2d).
             count = x.shape[0]
             unbiased_var = var * (count / (count - 1)) if count > 1 else var
@@ -108,12 +119,11 @@ class BatchNorm1d(Module):
             var = self.running_var
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean) * inv_std
-        self._cache = (x_hat, inv_std)
+        self._cache = (x_hat, inv_std) if is_grad_enabled() else NO_GRAD
         return self.weight.data * x_hat + self.bias.data
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._cache is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._cache, self)
         x_hat, inv_std = self._cache
         self.weight.accumulate_grad((grad_out * x_hat).sum(axis=0))
         self.bias.accumulate_grad(grad_out.sum(axis=0))
@@ -144,12 +154,11 @@ class LayerNorm(Module):
         mean, var = current_backend().moments(x, -1, keepdims=True)
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean) * inv_std
-        self._cache = (x_hat, inv_std)
+        self._cache = (x_hat, inv_std) if is_grad_enabled() else NO_GRAD
         return self.weight.data * x_hat + self.bias.data
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._cache is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._cache, self)
         x_hat, inv_std = self._cache
         reduce_axes = tuple(range(grad_out.ndim - 1))
         self.weight.accumulate_grad((grad_out * x_hat).sum(axis=reduce_axes))
@@ -175,13 +184,19 @@ class Dropout(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if not self.training or self.p == 0.0:
-            self._mask = None
+            self._mask = None if is_grad_enabled() else NO_GRAD
             return x
         keep = 1.0 - self.p
-        self._mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
-        return x * self._mask
+        # Training semantics regardless of grad mode: the mask is drawn
+        # and applied either way (consuming the same rng stream); only
+        # its retention for backward is skipped under no_grad.
+        mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        self._mask = mask if is_grad_enabled() else NO_GRAD
+        return x * mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is NO_GRAD:
+            check_backward_cache(self._mask, self)
         if self._mask is None:
             return grad_out
         return grad_out * self._mask

@@ -7,7 +7,7 @@ from typing import Optional
 import numpy as np
 
 from ..backend import current_backend
-from ..module import Module
+from ..module import NO_GRAD, Module, check_backward_cache, is_grad_enabled
 
 
 class MaxPool2d(Module):
@@ -41,6 +41,15 @@ class MaxPool2d(Module):
         )
         k2 = self.kernel_size * self.kernel_size
         windows = cols.reshape(batch, channels, k2, out_h * out_w)
+        if not is_grad_enabled():
+            # max() reads the same winning element argmax would select;
+            # no index tensor is materialized or retained.
+            out = windows.max(axis=2)
+            backend.release(cols)
+            self._cache = NO_GRAD
+            return np.ascontiguousarray(
+                out.reshape(batch, channels, out_h, out_w)
+            )
         argmax = windows.argmax(axis=2)
         out = np.take_along_axis(windows, argmax[:, :, None, :], axis=2)[:, :, 0, :]
         # Only argmax survives into backward; the columns go back to the
@@ -50,8 +59,7 @@ class MaxPool2d(Module):
         return np.ascontiguousarray(out.reshape(batch, channels, out_h, out_w))
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._cache is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._cache, self)
         x_shape, argmax, out_h, out_w = self._cache
         batch, channels = x_shape[0], x_shape[1]
         backend = current_backend()
@@ -93,12 +101,11 @@ class AvgPool2d(Module):
         k2 = self.kernel_size * self.kernel_size
         out = cols.reshape(batch, channels, k2, out_h * out_w).mean(axis=2)
         backend.release(cols)
-        self._x_shape = x.shape
+        self._x_shape = x.shape if is_grad_enabled() else NO_GRAD
         return out.reshape(batch, channels, out_h, out_w)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._x_shape is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._x_shape, self)
         batch, channels = self._x_shape[0], self._x_shape[1]
         out_h, out_w = grad_out.shape[2], grad_out.shape[3]
         backend = current_backend()
@@ -132,12 +139,11 @@ class AdaptiveAvgPool2d(Module):
         self._x_shape: Optional[tuple[int, int, int, int]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._x_shape = x.shape
+        self._x_shape = x.shape if is_grad_enabled() else NO_GRAD
         return current_backend().adaptive_avg_pool2d(x, self.output_size)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._x_shape is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._x_shape, self)
         return current_backend().adaptive_avg_pool2d_backward(
             grad_out, self._x_shape
         )
@@ -153,12 +159,11 @@ class GlobalAvgPool2d(Module):
         self._x_shape: Optional[tuple[int, int, int, int]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._x_shape = x.shape
+        self._x_shape = x.shape if is_grad_enabled() else NO_GRAD
         return x.mean(axis=(2, 3))
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._x_shape is None:
-            raise RuntimeError("backward called before forward")
+        check_backward_cache(self._x_shape, self)
         batch, channels, height, width = self._x_shape
         grad = grad_out.reshape(batch, channels, 1, 1) / (height * width)
         return np.broadcast_to(grad, self._x_shape).astype(grad_out.dtype).copy()

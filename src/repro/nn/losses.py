@@ -1,7 +1,12 @@
 """Loss functions.
 
 Every loss is a callable returning ``(loss_value, grad_wrt_input)`` so
-trainers can feed the gradient straight into ``model.backward``.
+trainers can feed the gradient straight into ``model.backward``.  Each
+also exposes ``value(prediction, target)`` computing only the scalar —
+the entry point for forward-only consumers (Phase-GP monitoring,
+``engine.evaluate``) that would otherwise pay for a full-size gradient
+tensor just to throw it away; :func:`loss_value` dispatches to it with a
+fallback for ad-hoc callables that only implement the pair form.
 """
 
 from __future__ import annotations
@@ -24,11 +29,17 @@ class CrossEntropyLoss:
     def __init__(self, ignore_index: Optional[int] = None) -> None:
         self.ignore_index = ignore_index
 
-    def __call__(
+    def _picked_log_probs(
         self, logits: np.ndarray, targets: np.ndarray
-    ) -> tuple[float, np.ndarray]:
-        orig_shape = logits.shape
-        num_classes = orig_shape[-1]
+    ) -> tuple:
+        """Shared forward math for :meth:`value` and :meth:`__call__`.
+
+        Returns ``(log_probs, picked, safe_targets, valid, count)``.
+        When every position is ignored (``count == 0``) the three array
+        slots are ``None`` — unusable by construction, so callers must
+        take their empty-batch path.
+        """
+        num_classes = logits.shape[-1]
         flat_logits = logits.reshape(-1, num_classes)
         flat_targets = np.asarray(targets).reshape(-1)
         if flat_targets.shape[0] != flat_logits.shape[0]:
@@ -42,14 +53,32 @@ class CrossEntropyLoss:
             valid = np.ones(flat_targets.shape[0], dtype=bool)
         count = int(valid.sum())
         if count == 0:
-            return 0.0, np.zeros(orig_shape, dtype=np.float32)
+            return None, None, None, valid, count
         log_probs = F.log_softmax(flat_logits, axis=-1)
         safe_targets = np.where(valid, flat_targets, 0)
         picked = log_probs[np.arange(flat_targets.shape[0]), safe_targets]
+        return log_probs, picked, safe_targets, valid, count
+
+    def value(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        """Scalar loss only — no gradient tensor is ever allocated."""
+        _, picked, _, valid, count = self._picked_log_probs(logits, targets)
+        if count == 0:
+            return 0.0
+        return -float(picked[valid].mean())
+
+    def __call__(
+        self, logits: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        orig_shape = logits.shape
+        log_probs, picked, safe_targets, valid, count = self._picked_log_probs(
+            logits, targets
+        )
+        if count == 0:
+            return 0.0, np.zeros(orig_shape, dtype=np.float32)
         loss = -float(picked[valid].mean())
         probs = np.exp(log_probs)
         grad = probs
-        grad[np.arange(flat_targets.shape[0]), safe_targets] -= 1.0
+        grad[np.arange(safe_targets.shape[0]), safe_targets] -= 1.0
         grad[~valid] = 0.0
         grad /= count
         return loss, grad.reshape(orig_shape).astype(np.float32)
@@ -57,6 +86,14 @@ class CrossEntropyLoss:
 
 class MSELoss:
     """Mean squared error; used to train the gradient predictor."""
+
+    def value(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"prediction shape {prediction.shape} != target shape {target.shape}"
+            )
+        diff = prediction - target
+        return float(np.mean(diff**2))
 
     def __call__(
         self, prediction: np.ndarray, target: np.ndarray
@@ -79,6 +116,20 @@ class SmoothL1Loss:
             raise ValueError(f"beta must be positive, got {beta}")
         self.beta = beta
 
+    def value(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"prediction shape {prediction.shape} != target shape {target.shape}"
+            )
+        diff = prediction - target
+        abs_diff = np.abs(diff)
+        losses = np.where(
+            abs_diff < self.beta,
+            0.5 * diff**2 / self.beta,
+            abs_diff - 0.5 * self.beta,
+        )
+        return float(losses.mean())
+
     def __call__(
         self, prediction: np.ndarray, target: np.ndarray
     ) -> tuple[float, np.ndarray]:
@@ -100,6 +151,18 @@ class SmoothL1Loss:
 class BCEWithLogitsLoss:
     """Sigmoid + binary cross entropy, numerically stable."""
 
+    def value(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.shape != targets.shape:
+            raise ValueError(
+                f"logits shape {logits.shape} != targets shape {targets.shape}"
+            )
+        losses = (
+            np.maximum(logits, 0.0)
+            - logits * targets
+            + np.log1p(np.exp(-np.abs(logits)))
+        )
+        return float(losses.mean())
+
     def __call__(
         self, logits: np.ndarray, targets: np.ndarray
     ) -> tuple[float, np.ndarray]:
@@ -116,6 +179,21 @@ class BCEWithLogitsLoss:
         loss = float(losses.mean())
         grad = (F.sigmoid(logits) - targets) / logits.size
         return loss, grad.astype(np.float32)
+
+
+def loss_value(loss_fn, outputs: np.ndarray, targets: np.ndarray) -> float:
+    """Scalar loss from any loss callable, cheapest path available.
+
+    Uses the loss's ``value`` method when it has one (no gradient tensor
+    is allocated); ad-hoc ``(loss, grad)`` callables — custom lambdas in
+    tests and experiments — fall back to computing and discarding the
+    gradient, which keeps this a drop-in for every ``LossFn``.
+    """
+    value = getattr(loss_fn, "value", None)
+    if callable(value):
+        return float(value(outputs, targets))
+    loss, _ = loss_fn(outputs, targets)
+    return float(loss)
 
 
 def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:

@@ -13,9 +13,90 @@ gives ADA-GP direct access to the two things it needs:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Iterator, Optional
 
 import numpy as np
+
+
+# ----------------------------------------------------------------------
+# Gradient mode.
+#
+# Phase-GP batches and evaluation are *forward-only*: nothing will ever
+# call ``backward``, so retaining backward caches (im2col columns,
+# activation masks, normalization ``x_hat`` — the largest allocations of
+# a step) is pure waste.  ``no_grad()`` switches every layer's forward
+# into a cache-free mode whose per-layer outputs are bitwise identical
+# to the grad-enabled forward; it is orthogonal to ``train()``/``eval()``
+# — batch-norm batch statistics and dropout keep their *training*
+# semantics under ``no_grad``, only the backward bookkeeping is skipped.
+# (One composite-level exception: a fused-backend ``Sequential`` in eval
+# mode may fold conv+BN into a single GEMM under no_grad, equivalent at
+# atol<=1e-5 rather than bitwise — see DESIGN.md §8.)
+# ----------------------------------------------------------------------
+_grad_enabled: bool = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether layer forwards currently retain backward caches."""
+    return _grad_enabled
+
+
+@contextmanager
+def no_grad():
+    """Context manager disabling backward-cache retention (reentrant).
+
+    Inside the scope every layer forward skips its backward bookkeeping:
+    conv layers release their im2col workspace immediately, activations
+    save no masks, normalization layers save no ``x_hat`` — per-layer
+    outputs stay bitwise identical (composite fused-backend folding is
+    the one atol-level exception, see the module note above).  Calling
+    ``backward`` on a layer whose last forward ran under ``no_grad``
+    raises a :class:`RuntimeError`.  Forward hooks still fire, so
+    Phase-GP predicted updates work unchanged.
+    """
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+class _NoGradCache:
+    """Sentinel stored in place of a backward cache by no-grad forwards.
+
+    Distinct from ``None`` (never ran forward / caches cleared) so
+    ``backward`` can tell the difference and raise a precise error.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "NO_GRAD"
+
+
+#: The singleton layers assign to their cache attributes under no_grad.
+NO_GRAD = _NoGradCache()
+
+
+def check_backward_cache(cache, layer) -> None:
+    """Validate a layer's saved forward cache at the top of ``backward``.
+
+    Raises the classic "backward before forward" error on ``None`` and a
+    no-grad-specific error on the :data:`NO_GRAD` sentinel.
+    """
+    if cache is None:
+        raise RuntimeError(
+            f"{type(layer).__name__}.backward called before forward"
+        )
+    if cache is NO_GRAD:
+        raise RuntimeError(
+            f"{type(layer).__name__}.backward called after a no-grad "
+            "forward; rerun the forward outside no_grad() to rebuild "
+            "backward caches"
+        )
 
 
 class Parameter:
@@ -30,6 +111,15 @@ class Parameter:
         self.data = np.ascontiguousarray(data, dtype=np.float32)
         self.grad: Optional[np.ndarray] = None
         self.name = name
+        # Monotonic mutation counter: optimizers bump it whenever they
+        # update ``data`` so derived caches (folded conv+BN weights in
+        # the fused backend) can detect staleness without comparing
+        # arrays.
+        self.version = 0
+
+    def bump_version(self) -> None:
+        """Record that ``data`` was mutated (invalidates derived caches)."""
+        self.version += 1
 
     @property
     def shape(self) -> tuple:
@@ -208,6 +298,7 @@ class Module:
                     f"{value.shape} vs {param.data.shape}"
                 )
             param.data = value.copy()
+            param.bump_version()
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -9,7 +9,7 @@ consistent with whole-model steps.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -54,6 +54,18 @@ class Optimizer:
         finally:
             param.grad = saved
 
+    def apply_gradients(
+        self, updates: Sequence[tuple[Parameter, np.ndarray]]
+    ) -> None:
+        """Apply many externally supplied gradients in one call.
+
+        The grouped entry point of the batched Phase-GP path: one call
+        applies every predicted (parameter, gradient) pair collected
+        over a forward pass, in order.
+        """
+        for param, grad in updates:
+            self.apply_gradient(param, grad)
+
     def owns(self, param: Parameter) -> bool:
         return id(param) in self._param_ids
 
@@ -91,6 +103,7 @@ class SGD(Optimizer):
         else:
             update = grad
         param.data -= self.lr * update
+        param.bump_version()
 
 
 class Adam(Optimizer):
@@ -135,3 +148,4 @@ class Adam(Optimizer):
         m_hat = m / (1 - beta1**t)
         v_hat = v / (1 - beta2**t)
         param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        param.bump_version()

@@ -43,6 +43,7 @@ import numpy as np
 from ..accel.config import AcceleratorConfig
 from ..nn.backend import BackendSpec, backend_scope, resolve_backend
 from ..nn.layers.core import Sequential
+from ..nn.losses import loss_value
 from ..nn.module import Module, Parameter
 from .partition import StagePlan, partition_sequential
 from .schedules import PipelineConfig, PipelineKind
@@ -289,13 +290,19 @@ class PipelineExecutor:
                         # schedule models fw/bw work only, and GP batches
                         # compute it purely for monitoring.
                         if s == last and loss_fn is not None and micro_targets is not None:
-                            loss, grad = loss_fn(out, micro_targets[m])
-                            losses[m] = float(loss)
                             if backward:
+                                loss, grad = loss_fn(out, micro_targets[m])
+                                losses[m] = float(loss)
                                 # Mean-reduction losses: rescale so the sum
                                 # of micro-batch gradients equals one
                                 # full-batch backward.
                                 loss_grads[m] = grad * (x.shape[0] / total)
+                            else:
+                                # Forward-only stream: value-only loss, no
+                                # gradient tensor allocated and discarded.
+                                losses[m] = loss_value(
+                                    loss_fn, out, micro_targets[m]
+                                )
                         acts[(s, m)] = out
                         if backward:
                             snaps[(s, m)] = self._snapshot(self.stages[s])

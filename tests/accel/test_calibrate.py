@@ -1,0 +1,146 @@
+"""Backend-aware calibration of the cycle model (accel/calibrate.py)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    CalibrationReport,
+    OpCalibration,
+    calibrate,
+    calibrate_from_bench,
+    calibrated_config,
+)
+from repro.accel.calibrate import OP_CYCLE_MODELS
+
+
+CONFIG = AcceleratorConfig()
+
+
+def _synthetic_timings(fused_ms):
+    """A BENCH_engine-shaped op table with chosen fused timings."""
+    return {
+        op: {"numpy_ms": 2.0 * ms, "fused_ms": ms}
+        for op, ms in fused_ms.items()
+    }
+
+
+class TestOpCalibration:
+    def test_implied_mhz_is_cycles_over_time(self):
+        cycles = OP_CYCLE_MODELS["linear_fwd"](CONFIG)
+        # 1 ms for `cycles` cycles -> cycles kHz = cycles/1e3 MHz.
+        op = OpCalibration.from_timing("linear_fwd", 1.0, CONFIG)
+        assert op.model_cycles == cycles
+        assert op.implied_mhz == pytest.approx(cycles / 1e3)
+
+    def test_nonpositive_timing_raises(self):
+        with pytest.raises(ValueError):
+            OpCalibration.from_timing("linear_fwd", 0.0, CONFIG)
+
+
+class TestCalibrate:
+    def test_median_aggregate_and_cost_scale(self):
+        # Pick timings so each op's implied MHz is exactly
+        # cycles / (ms * 1e3); with three ops the aggregate is the
+        # middle value and cost_scale is aggregate / per-op.
+        timings = _synthetic_timings(
+            {"linear_fwd": 1.0, "conv1x1_fwd": 2.0, "attn_scores": 0.5}
+        )
+        report = calibrate(timings, config=CONFIG)
+        implied = {
+            op: OP_CYCLE_MODELS[op](CONFIG) / (ms * 1e3)
+            for op, ms in (
+                ("linear_fwd", 1.0),
+                ("conv1x1_fwd", 2.0),
+                ("attn_scores", 0.5),
+            )
+        }
+        assert report.implied_mhz == pytest.approx(
+            sorted(implied.values())[1]
+        )
+        scale = report.cost_scale()
+        for op, mhz in implied.items():
+            assert scale[op] == pytest.approx(report.implied_mhz / mhz)
+        # The median op's scale is exactly 1 — the model is calibrated
+        # around it.
+        median_op = min(
+            implied, key=lambda op: abs(implied[op] - report.implied_mhz)
+        )
+        assert scale[median_op] == pytest.approx(1.0)
+
+    def test_even_count_aggregate_is_midpoint(self):
+        timings = _synthetic_timings({"linear_fwd": 1.0, "conv1x1_fwd": 1.0})
+        report = calibrate(timings, config=CONFIG)
+        values = sorted(op.implied_mhz for op in report.ops)
+        assert report.implied_mhz == pytest.approx(0.5 * sum(values))
+
+    def test_unknown_ops_skipped_and_backend_column(self):
+        timings = _synthetic_timings({"linear_fwd": 1.0})
+        timings["exotic_op"] = {"fused_ms": 3.0}  # no cycle model: skipped
+        report = calibrate(timings, config=CONFIG, backend="numpy")
+        assert [op.op for op in report.ops] == ["linear_fwd"]
+        # numpy column is 2x the fused one -> half the implied MHz.
+        fused = calibrate(timings, config=CONFIG, backend="fused")
+        assert report.implied_mhz == pytest.approx(fused.implied_mhz / 2.0)
+
+    def test_no_calibratable_ops_raises(self):
+        with pytest.raises(ValueError, match="no calibratable ops"):
+            calibrate({"exotic_op": {"fused_ms": 1.0}}, config=CONFIG)
+
+    def test_seconds_for_cycles_round_trip(self):
+        timings = _synthetic_timings({"linear_fwd": 1.0})
+        report = calibrate(timings, config=CONFIG)
+        cycles = OP_CYCLE_MODELS["linear_fwd"](CONFIG)
+        # The calibrating op itself maps back onto its measured time.
+        assert report.seconds_for_cycles(cycles) == pytest.approx(1e-3)
+
+
+class TestBenchFile:
+    def test_calibrate_from_synthetic_bench_file(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "fused_gate": {
+                        "ops": _synthetic_timings(
+                            {"linear_fwd": 1.0, "bn_moments": 0.4}
+                        )
+                    },
+                    "meta": {"python": "3.11"},
+                }
+            )
+        )
+        report = calibrate_from_bench(path)
+        assert {op.op for op in report.ops} == {"linear_fwd", "bn_moments"}
+        assert report.backend == "fused"
+        assert np.isfinite(report.implied_mhz)
+
+    def test_missing_section_raises(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({"meta": {}}))
+        with pytest.raises(ValueError, match="fused_gate"):
+            calibrate_from_bench(path)
+
+
+class TestCalibratedConfig:
+    def test_frequency_replaced_everything_else_kept(self):
+        timings = _synthetic_timings({"linear_fwd": 1.0})
+        report = calibrate(timings, config=CONFIG)
+        config = calibrated_config(report, CONFIG)
+        assert config.frequency_mhz == pytest.approx(report.implied_mhz)
+        assert config.rows == CONFIG.rows
+        assert config.cols == CONFIG.cols
+        assert config.dataflow == CONFIG.dataflow
+
+    def test_report_on_real_record_when_present(self):
+        """Calibrating the repo's own BENCH_engine.json must work."""
+        from pathlib import Path
+
+        record = Path(__file__).resolve().parents[2] / "BENCH_engine.json"
+        if not record.exists():
+            pytest.skip("no BENCH_engine.json at repo root")
+        report = calibrate_from_bench(record)
+        assert report.implied_mhz > 0
+        assert len(report.ops) >= 4

@@ -1,0 +1,310 @@
+"""Tests for the forward-only (no-grad) execution mode.
+
+Covers, per layer and per backend: bitwise equality of no-grad vs
+grad-enabled training-mode forwards, verified cache absence, the
+backward-after-no-grad error, workspace-pool cleanliness, and the fused
+backend's folded conv+BN(+ReLU) path (equivalence, invalidation on GP
+updates and on running-stat refreshes, hook/train-mode bail-outs).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.backend import FusedBackend
+from repro.nn.module import NO_GRAD, is_grad_enabled, no_grad
+
+BACKENDS = ["numpy", "fused"]
+ATOL = 1e-5
+
+
+def _x(shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+def _layer_cases():
+    """(name, layer factory, input shape, cache attrs) per layer type.
+
+    The factory is called twice per test (grad / no-grad instance), so
+    every rng is explicitly seeded to make the two instances identical.
+    """
+    return [
+        ("conv3x3", lambda: nn.Conv2d(3, 6, 3, padding=1, rng=np.random.default_rng(1)), (4, 3, 9, 9), ["_cache_ctx"]),
+        ("conv1x1", lambda: nn.Conv2d(5, 7, 1, rng=np.random.default_rng(2)), (4, 5, 6, 6), ["_cache_ctx"]),
+        ("linear", lambda: nn.Linear(6, 4, rng=np.random.default_rng(3)), (8, 6), ["_cache_x"]),
+        ("flatten", lambda: nn.Flatten(), (3, 4, 5), ["_cache_shape"]),
+        ("maxpool_padded", lambda: nn.MaxPool2d(3, stride=2, padding=1), (3, 4, 9, 9), ["_cache"]),
+        ("avgpool", lambda: nn.AvgPool2d(2), (3, 4, 8, 8), ["_x_shape"]),
+        ("adaptive_pool", lambda: nn.AdaptiveAvgPool2d(3), (2, 4, 7, 7), ["_x_shape"]),
+        ("global_pool", lambda: nn.GlobalAvgPool2d(), (2, 4, 5, 5), ["_x_shape"]),
+        ("batchnorm2d", lambda: nn.BatchNorm2d(5), (6, 5, 4, 4), ["_cache"]),
+        ("batchnorm1d", lambda: nn.BatchNorm1d(7), (12, 7), ["_cache"]),
+        ("layernorm", lambda: nn.LayerNorm(9), (3, 6, 9), ["_cache"]),
+        ("relu", lambda: nn.ReLU(), (4, 6), ["_mask"]),
+        ("leaky_relu", lambda: nn.LeakyReLU(0.2), (4, 6), ["_mask"]),
+        ("relu6", lambda: nn.ReLU6(), (4, 6), ["_mask"]),
+        ("sigmoid", lambda: nn.Sigmoid(), (4, 6), ["_out"]),
+        ("tanh", lambda: nn.Tanh(), (4, 6), ["_out"]),
+        ("gelu", lambda: nn.GELU(), (4, 6), ["_x"]),
+        ("dropout", lambda: nn.Dropout(0.4, rng=np.random.default_rng(4)), (16, 12), ["_mask"]),
+        ("attention", lambda: nn.MultiHeadAttention(8, 2, rng=np.random.default_rng(5)), (2, 5, 8), ["_cache"]),
+    ]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "name,factory,shape,cache_attrs",
+    _layer_cases(),
+    ids=[c[0] for c in _layer_cases()],
+)
+def test_no_grad_forward_bitwise_equal(backend, name, factory, shape, cache_attrs):
+    """A no-grad forward returns the training-mode forward bit for bit."""
+    x = _x(shape, seed=11)
+    with nn.use_backend(backend):
+        reference = factory()(x)
+        layer = factory()
+        with no_grad():
+            out = layer(x)
+    assert np.array_equal(reference, out)
+    for attr in cache_attrs:
+        assert getattr(layer, attr) is NO_GRAD, attr
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "name,factory,shape,cache_attrs",
+    _layer_cases(),
+    ids=[c[0] for c in _layer_cases()],
+)
+def test_backward_after_no_grad_raises(backend, name, factory, shape, cache_attrs):
+    x = _x(shape, seed=3)
+    with nn.use_backend(backend):
+        layer = factory()
+        with no_grad():
+            out = layer(x)
+        with pytest.raises(RuntimeError, match="no-grad"):
+            layer.backward(np.ones_like(out))
+
+
+class TestGradMode:
+    def test_default_enabled_and_scope_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():  # reentrant
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+    def test_forward_hooks_still_fire(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        seen = []
+        layer.forward_hook = lambda module, output: seen.append(output.shape)
+        with no_grad():
+            layer(_x((2, 4)))
+        assert seen == [(2, 3)]
+
+    def test_grad_forward_after_no_grad_restores_backward(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        x = _x((2, 4))
+        with no_grad():
+            layer(x)
+        out = layer(x)
+        layer.backward(np.ones_like(out))  # does not raise
+        assert layer.weight.grad is not None
+
+    def test_bn_training_stats_still_update_under_no_grad(self):
+        """no_grad is orthogonal to train/eval: batch stats semantics."""
+        bn = nn.BatchNorm2d(3)
+        before = bn.running_mean.copy()
+        version = bn.stats_version
+        with no_grad():
+            bn(_x((4, 3, 5, 5), seed=2) + 1.0)
+        assert not np.array_equal(bn.running_mean, before)
+        assert bn.stats_version == version + 1
+
+    def test_dropout_consumes_same_rng_stream(self):
+        """Training semantics under no_grad: identical mask draw."""
+        a = nn.Dropout(0.5, rng=np.random.default_rng(7))
+        b = nn.Dropout(0.5, rng=np.random.default_rng(7))
+        x = _x((8, 8), seed=1)
+        out_a = a(x)
+        with no_grad():
+            out_b = b(x)
+        assert np.array_equal(out_a, out_b)
+
+
+class TestModelLevel:
+    def _model(self, seed=1):
+        nn.init.reset_layer_rng(0)
+        from repro.models import build_mini
+
+        return build_mini("ResNet50", 10, rng=np.random.default_rng(seed))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_train_mode_model_forward_bitwise_equal(self, backend):
+        x = _x((4, 3, 16, 16), seed=5)
+        with nn.use_backend(backend):
+            reference = self._model()(x)
+            model = self._model()
+            with no_grad():
+                out = model(x)
+        assert np.array_equal(reference, out)
+
+    def test_no_grad_model_leaves_workspace_pool_clean(self):
+        backend = FusedBackend()
+        x = _x((4, 3, 16, 16), seed=5)
+        with nn.use_backend(backend):
+            model = self._model()
+            with no_grad():
+                model(x)
+        assert backend.pool.outstanding == 0
+        # Warm pool: a second no-grad forward allocates nothing new.
+        backend.pool.reset_stats()
+        with nn.use_backend(backend):
+            with no_grad():
+                model(x)
+        assert backend.pool.misses == 0
+        assert backend.pool.outstanding == 0
+
+    def test_model_backward_after_no_grad_raises(self):
+        model = self._model()
+        with no_grad():
+            out = model(_x((2, 3, 16, 16)))
+        with pytest.raises(RuntimeError, match="no-grad"):
+            model.backward(np.ones_like(out))
+
+
+class TestFoldedConvBN:
+    def _block(self, relu=True, bias=False, seed=0):
+        nn.init.reset_layer_rng(seed)
+        conv = nn.Conv2d(3, 8, 3, padding=1, bias=bias, rng=np.random.default_rng(1))
+        bn = nn.BatchNorm2d(8)
+        # Non-trivial running stats / affine params so folding is exercised.
+        rng = np.random.default_rng(2)
+        bn.running_mean = rng.standard_normal(8).astype(np.float32)
+        bn.running_var = (rng.random(8).astype(np.float32) + 0.5)
+        bn.weight.data = rng.standard_normal(8).astype(np.float32)
+        bn.bias.data = rng.standard_normal(8).astype(np.float32)
+        layers = [conv, bn] + ([nn.ReLU()] if relu else [])
+        return nn.Sequential(*layers).eval()
+
+    @pytest.mark.parametrize("relu", [True, False])
+    @pytest.mark.parametrize("bias", [True, False])
+    def test_folded_matches_unfused_reference(self, relu, bias):
+        x = _x((4, 3, 10, 10), seed=9)
+        block = self._block(relu=relu, bias=bias)
+        reference = block(x)  # grad-enabled: layer-by-layer, no folding
+        backend = FusedBackend()
+        with nn.use_backend(backend):
+            with no_grad():
+                out = block(x)
+        assert len(backend._folded) == 1  # the fold path actually ran
+        np.testing.assert_allclose(out, reference, atol=ATOL)
+
+    def test_fold_invalidated_by_gp_update(self):
+        x = _x((4, 3, 10, 10), seed=9)
+        block = self._block()
+        conv = block[0]
+        backend = FusedBackend()
+        with nn.use_backend(backend):
+            with no_grad():
+                stale = block(x)
+            # A Phase-GP style predicted update through an optimizer.
+            optimizer = nn.SGD([conv.weight], lr=0.5, momentum=0.0)
+            optimizer.apply_gradient(
+                conv.weight, np.ones_like(conv.weight.data)
+            )
+            with no_grad():
+                refolded = block(x)
+        reference = block(x)  # unfused, current weights
+        np.testing.assert_allclose(refolded, reference, atol=ATOL)
+        assert np.abs(refolded - stale).max() > 0.1
+
+    def test_fold_invalidated_by_running_stats_refresh(self):
+        x = _x((4, 3, 10, 10), seed=9)
+        block = self._block()
+        backend = FusedBackend()
+        with nn.use_backend(backend):
+            with no_grad():
+                block(x)
+            # A training-mode forward refreshes running stats.
+            block.train()
+            block(x + 1.0)
+            block.eval()
+            with no_grad():
+                refolded = block(x)
+        reference = block(x)
+        np.testing.assert_allclose(refolded, reference, atol=ATOL)
+
+    def test_no_fold_when_bn_in_training_mode(self):
+        """Batch-stat normalization cannot fold; semantics win."""
+        x = _x((4, 3, 10, 10), seed=9)
+        block = self._block().train()
+        reference_block = self._block().train()
+        backend = FusedBackend()
+        with nn.use_backend(backend):
+            with no_grad():
+                out = block(x)
+            assert not backend._folded
+            reference = reference_block(x)
+        assert np.array_equal(out, reference)
+
+    def test_no_fold_when_hook_installed(self):
+        """A forward hook needs the conv's own output; folding bails."""
+        x = _x((4, 3, 10, 10), seed=9)
+        block = self._block()
+        seen = []
+        block[0].forward_hook = lambda module, output: seen.append(output)
+        backend = FusedBackend()
+        with nn.use_backend(backend):
+            with no_grad():
+                block(x)
+        assert not backend._folded
+        assert len(seen) == 1  # the conv output materialized for the hook
+
+    def test_numpy_backend_never_folds(self):
+        x = _x((4, 3, 10, 10), seed=9)
+        block = self._block()
+        reference = block(x)
+        with nn.use_backend("numpy"):
+            with no_grad():
+                out = block(x)
+        assert np.array_equal(out, reference)
+
+    def test_clear_folded_drops_cache(self):
+        x = _x((4, 3, 10, 10), seed=9)
+        block = self._block()
+        backend = FusedBackend()
+        with nn.use_backend(backend):
+            with no_grad():
+                block(x)
+            assert backend._folded
+            backend.clear_folded()
+            assert not backend._folded
+
+
+class TestParameterVersions:
+    def test_optimizer_steps_bump_versions(self):
+        for optimizer_cls in (nn.SGD, nn.Adam):
+            param = nn.Parameter(np.ones(3, dtype=np.float32))
+            optimizer = optimizer_cls([param], lr=0.1)
+            assert param.version == 0
+            param.accumulate_grad(np.ones(3, dtype=np.float32))
+            optimizer.step()
+            assert param.version == 1
+            optimizer.apply_gradient(param, np.ones(3, dtype=np.float32))
+            assert param.version == 2
+
+    def test_load_state_dict_bumps_versions(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        state = layer.state_dict()
+        before = layer.weight.version
+        layer.load_state_dict(state)
+        assert layer.weight.version == before + 1

@@ -6,59 +6,51 @@ model under (a) the paper's heuristic ladder, (b) the MAPE-driven
 :class:`~repro.core.AdaptiveSchedule`, and (c) an aggressive always-GP
 schedule, showing the accuracy/GP-share trade-off each one strikes.
 
+The three runs execute as :mod:`repro.tune` trials — the same specs a
+search would journal — so this is the minimal entry point to the
+subsystem; ``examples/schedule_search.py`` is the full search that
+supersedes the hand-rolled loop this file used to carry.
+
 Run:  python examples/adaptive_vs_heuristic.py
 """
 
-import numpy as np
-
-from repro.core import (
-    AdaptiveSchedule,
-    HeuristicSchedule,
-    adagp_engine,
-)
-from repro.data import preset_split
+from repro.core import AdaptiveSchedule, HeuristicSchedule
 from repro.experiments.formats import format_table
-from repro.models import build_mini
-from repro.nn.losses import CrossEntropyLoss, accuracy
+from repro.tune import SearchRunner, TrialSpec
 
-
-def run(schedule, split, epochs: int = 20):
-    model = build_mini("VGG13", 10, rng=np.random.default_rng(1))
-    engine = adagp_engine(
-        model, CrossEntropyLoss(), lr=0.02, metric_fn=accuracy,
-        schedule=schedule,
-    )
-    history = engine.fit(
-        lambda: split.train.batches(32, rng=np.random.default_rng(2)),
-        lambda: split.val.batches(64, shuffle=False),
-        epochs=epochs,
-    )
-    gp = sum(history.gp_batches)
-    total = gp + sum(history.bp_batches)
-    return history.best_metric, gp / total
+BASE = dict(
+    model="VGG13", dataset="Cifar10", num_train=256, num_val=128,
+    batch_size=32, epochs=20, lr=0.02,
+)
 
 
 def main() -> None:
-    split = preset_split("Cifar10", num_train=256, num_val=128, seed=0)
-    rows = []
-
-    heuristic = HeuristicSchedule(
-        warmup_epochs=6, ladder=((3, (4, 1)), (3, (3, 1)), (3, (2, 1)))
-    )
-    acc, gp_share = run(heuristic, split)
-    rows.append(["paper heuristic ladder", acc, f"{gp_share:.0%}"])
-
-    adaptive = AdaptiveSchedule(warmup_epochs=6)
-    acc, gp_share = run(adaptive, split)
-    rows.append(["MAPE-adaptive (§3.5 general)", acc, f"{gp_share:.0%}"])
-
-    aggressive = HeuristicSchedule(warmup_epochs=2, ladder=(), final_ratio=(9, 1))
-    acc, gp_share = run(aggressive, split)
-    rows.append(["aggressive 9:1 after 2 epochs", acc, f"{gp_share:.0%}"])
-
+    schedules = [
+        (
+            "paper heuristic ladder",
+            HeuristicSchedule(
+                warmup_epochs=6, ladder=((3, (4, 1)), (3, (3, 1)), (3, (2, 1)))
+            ),
+        ),
+        ("MAPE-adaptive (§3.5 general)", AdaptiveSchedule(warmup_epochs=6)),
+        (
+            "aggressive 9:1 after 2 epochs",
+            HeuristicSchedule(warmup_epochs=2, ladder=(), final_ratio=(9, 1)),
+        ),
+    ]
+    specs = [
+        TrialSpec(trial_id=f"ablation-{i}", schedule=schedule.to_config(), **BASE)
+        for i, (_, schedule) in enumerate(schedules)
+    ]
+    results = SearchRunner().run(specs)
+    rows = [
+        [name, result.best_metric, f"{result.gp_share:.0%}",
+         f"{result.cycle_speedup:.2f}x"]
+        for (name, _), result in zip(schedules, results)
+    ]
     print(
         format_table(
-            ["Schedule", "Best accuracy (%)", "GP batch share"],
+            ["Schedule", "Best accuracy (%)", "GP batch share", "Cycle speedup"],
             rows,
             title="Schedule ablation on VGG13-mini / CIFAR10-like",
         )

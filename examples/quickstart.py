@@ -83,7 +83,7 @@ def main() -> None:
     print(f"ADA-GP best accuracy: {ada_history.best_metric:.1f}%")
     print(
         f"Backward passes skipped: {skipped}/{total} batches "
-        f"({100 * skipped / total:.0f}%)"
+        f"({ada_history.gp_share:.0%})"
     )
     gp_rate = timer.batches_per_second(Phase.GP)
     bp_rate = timer.batches_per_second(Phase.BP)

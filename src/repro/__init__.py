@@ -21,9 +21,13 @@ Package map
                       ADA-GP overlays.
 ``repro.experiments`` One module per paper table/figure; see
                       ``python -m repro.experiments.runner``.
+``repro.tune``        Parallel schedule search over the engine: search
+                      spaces, trial runner (process pool + resume
+                      journal), successive halving, Pareto frontier of
+                      accuracy vs. GP share / cycle-model speedup.
 """
 
-from . import accel, core, data, experiments, models, nn, pipeline
+from . import accel, core, data, experiments, models, nn, pipeline, tune
 from .accel import AcceleratorConfig, AcceleratorModel, AdaGPDesign, DataflowKind
 from .core import (
     AdaGPTrainer,
@@ -51,6 +55,7 @@ __all__ = [
     "models",
     "nn",
     "pipeline",
+    "tune",
     "AcceleratorConfig",
     "AcceleratorModel",
     "AdaGPDesign",

@@ -4,9 +4,12 @@ from .adagp import AcceleratorModel, BatchCost, LayerPhaseCost
 from .calibrate import (
     CalibrationReport,
     OpCalibration,
+    PhaseCycleCosts,
     calibrate,
     calibrate_from_bench,
     calibrated_config,
+    phase_cycle_costs,
+    schedule_speedup,
 )
 from .area import (
     AsicArea,
@@ -52,9 +55,12 @@ __all__ = [
     "LayerPhaseCost",
     "CalibrationReport",
     "OpCalibration",
+    "PhaseCycleCosts",
     "calibrate",
     "calibrate_from_bench",
     "calibrated_config",
+    "phase_cycle_costs",
+    "schedule_speedup",
     "AsicArea",
     "AsicPower",
     "FpgaPower",

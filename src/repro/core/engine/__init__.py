@@ -22,6 +22,7 @@ from .events import (
     Checkpointing,
     EarlyStopping,
     LambdaCallback,
+    PruneCallback,
     ThroughputTimer,
 )
 from .factories import adagp_engine, bp_engine, dni_engine, pipeline_adagp_engine
@@ -48,6 +49,7 @@ __all__ = [
     "LambdaCallback",
     "EarlyStopping",
     "Checkpointing",
+    "PruneCallback",
     "ThroughputTimer",
     "bp_engine",
     "adagp_engine",

@@ -102,8 +102,20 @@ def engine_state(engine: "TrainingEngine") -> dict:
         }
     if engine.predictor_scheduler is not None:
         state["predictor_scheduler"] = _scheduler_state(engine.predictor_scheduler)
-    if engine.schedule is not None and hasattr(engine.schedule, "_recent_mape"):
-        state["schedule"] = {"_recent_mape": engine.schedule._recent_mape}
+    if engine.schedule is not None:
+        # AdaptiveSchedule stores its smoothed MAPE; HeuristicSchedule
+        # (stateless) stores {}.  The dict shape matches the old direct
+        # ``_recent_mape`` poke, so pre-existing checkpoints still load,
+        # and duck-typed custom schedules that track ``_recent_mape``
+        # without the state_dict protocol keep their pre-PR coverage.
+        if hasattr(engine.schedule, "state_dict"):
+            schedule_state = engine.schedule.state_dict()
+        elif hasattr(engine.schedule, "_recent_mape"):
+            schedule_state = {"_recent_mape": engine.schedule._recent_mape}
+        else:
+            schedule_state = {}
+        if schedule_state:
+            state["schedule"] = copy.deepcopy(schedule_state)
     # Positional: restoring requires the same callbacks attached in the
     # same order (stateless callbacks contribute an empty dict).
     state["callbacks"] = [
@@ -148,7 +160,10 @@ def load_engine_state(engine: "TrainingEngine", state: dict) -> None:
             )
         _load_scheduler_state(engine.predictor_scheduler, state["predictor_scheduler"])
     if "schedule" in state and engine.schedule is not None:
-        engine.schedule._recent_mape = state["schedule"]["_recent_mape"]
+        if hasattr(engine.schedule, "load_state_dict"):
+            engine.schedule.load_state_dict(state["schedule"])
+        else:
+            engine.schedule._recent_mape = state["schedule"]["_recent_mape"]
     callback_states = state.get("callbacks", [])
     callbacks = list(engine.callbacks)
     if len(callback_states) != len(callbacks):

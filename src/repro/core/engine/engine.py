@@ -255,8 +255,12 @@ class TrainingEngine:
             self.history.train_loss.append(stats.loss)
             self.history.val_loss.append(val_loss)
             self.history.val_metric.append(val_metric)
-            self.history.bp_batches.append(counts[Phase.BP] + counts[Phase.WARMUP])
+            true_grad = counts[Phase.BP] + counts[Phase.WARMUP]
+            self.history.bp_batches.append(true_grad)
             self.history.gp_batches.append(counts[Phase.GP])
+            self.history.gp_fraction.append(
+                counts[Phase.GP] / (true_grad + counts[Phase.GP])
+            )
             if self.predictor is not None:
                 self.history.predictor_mse.append(stats.predictor_mse)
                 self.history.predictor_mape.append(stats.predictor_mape)

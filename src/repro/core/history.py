@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -15,8 +15,11 @@ class History:
     prediction-only batches where backward was skipped.  A plain-BP run
     records every batch in ``bp_batches`` and zeros in ``gp_batches``
     (the engine replaced the old ``-1`` placeholder the BP trainer used
-    to append), so ``sum(gp_batches) / (sum(bp_batches) +
-    sum(gp_batches))`` is the realized GP share for any trainer.
+    to append).  :attr:`gp_share` is the realized whole-run GP share and
+    ``gp_fraction`` the per-epoch series (both recorded, not planned:
+    an :class:`~repro.core.AdaptiveSchedule` earns its ratio from
+    observed predictor quality, so realized shares are the ground truth
+    the schedule-search subsystem optimizes against).
 
     ``predictor_mape``/``predictor_mse`` hold one dict per epoch mapping
     predictable-layer index (forward order) to the epoch-mean prediction
@@ -29,8 +32,18 @@ class History:
     val_metric: list[float] = field(default_factory=list)
     gp_batches: list[int] = field(default_factory=list)
     bp_batches: list[int] = field(default_factory=list)
+    gp_fraction: list[float] = field(default_factory=list)
     predictor_mape: list[dict[int, float]] = field(default_factory=list)
     predictor_mse: list[dict[int, float]] = field(default_factory=list)
+
+    def __setstate__(self, state: dict) -> None:
+        # Checkpoints pickled before a field existed (e.g. pre-tune
+        # ``gp_fraction``) restore with defaults for the missing fields
+        # instead of AttributeError-ing on first use.
+        self.__dict__.update(state)
+        for spec in fields(self):
+            if spec.name not in self.__dict__:
+                self.__dict__[spec.name] = spec.default_factory()
 
     @property
     def num_epochs(self) -> int:
@@ -47,6 +60,16 @@ class History:
         if not self.val_metric:
             raise ValueError("no epochs recorded")
         return self.val_metric[-1]
+
+    @property
+    def gp_share(self) -> float:
+        """Realized whole-run GP share: prediction-only batches over all
+        training batches.  Replaces the hand-computed
+        ``sum(gp_batches) / (sum(bp_batches) + sum(gp_batches))``."""
+        total = sum(self.bp_batches) + sum(self.gp_batches)
+        if total == 0:
+            raise ValueError("no training batches recorded")
+        return sum(self.gp_batches) / total
 
     def layer_series(self, layer_index: int, kind: str = "mape") -> list[float]:
         """Error-over-epochs series for one layer (Fig 15 curves)."""

@@ -82,6 +82,44 @@ class HeuristicSchedule:
         k, m = ratio
         return k / (k + m)
 
+    # -- state / config round-trip (checkpointing and schedule search) --
+
+    def state_dict(self) -> dict:
+        """Mutable state; the heuristic ladder is stateless."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        if state:
+            raise ValueError(
+                f"HeuristicSchedule carries no state, got keys {sorted(state)}"
+            )
+
+    def to_config(self) -> dict:
+        """JSON-safe constructor arguments (inverse of :meth:`from_config`)."""
+        return {
+            "kind": "heuristic",
+            "warmup_epochs": self.warmup_epochs,
+            "ladder": [[window, list(ratio)] for window, ratio in self.ladder],
+            "final_ratio": list(self.final_ratio),
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "HeuristicSchedule":
+        kind = config.get("kind", "heuristic")
+        if kind != "heuristic":
+            raise ValueError(f"expected kind 'heuristic', got {kind!r}")
+        return cls(
+            warmup_epochs=int(config["warmup_epochs"]),
+            ladder=tuple(
+                (int(window), (int(ratio[0]), int(ratio[1])))
+                for window, ratio in config["ladder"]
+            ),
+            final_ratio=(
+                int(config["final_ratio"][0]),
+                int(config["final_ratio"][1]),
+            ),
+        )
+
 
 @dataclass
 class AdaptiveSchedule:
@@ -136,6 +174,67 @@ class AdaptiveSchedule:
             return 0.0
         k, m = ratio
         return k / (k + m)
+
+    # -- state / config round-trip (checkpointing and schedule search) --
+
+    def state_dict(self) -> dict:
+        """The smoothed predictor quality the controller has earned so
+        far — everything :meth:`observe_mape` mutates.  Restoring it
+        reproduces ratio decisions bit-identically across a
+        checkpoint/resume boundary."""
+        return {"_recent_mape": self._recent_mape}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._recent_mape = float(state["_recent_mape"])
+
+    def to_config(self) -> dict:
+        """JSON-safe constructor arguments (state excluded; see
+        :meth:`state_dict`)."""
+        return {
+            "kind": "adaptive",
+            "warmup_epochs": self.warmup_epochs,
+            "thresholds": [float(t) for t in self.thresholds],
+            "ratios": [list(ratio) for ratio in self.ratios],
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "AdaptiveSchedule":
+        kind = config.get("kind", "adaptive")
+        if kind != "adaptive":
+            raise ValueError(f"expected kind 'adaptive', got {kind!r}")
+        return cls(
+            warmup_epochs=int(config["warmup_epochs"]),
+            thresholds=tuple(float(t) for t in config["thresholds"]),
+            ratios=tuple(
+                (int(ratio[0]), int(ratio[1])) for ratio in config["ratios"]
+            ),
+        )
+
+
+SCHEDULE_KINDS = {
+    "heuristic": HeuristicSchedule,
+    "adaptive": AdaptiveSchedule,
+}
+
+
+def schedule_from_config(config: dict) -> HeuristicSchedule | AdaptiveSchedule:
+    """Rebuild either schedule class from its :meth:`to_config` dict.
+
+    The ``kind`` key dispatches; configs are JSON-safe, so schedules can
+    travel through the tune subsystem's trial journal and come back as
+    working objects.
+    """
+    try:
+        kind = config["kind"]
+    except KeyError:
+        raise ValueError("schedule config needs a 'kind' key") from None
+    try:
+        cls = SCHEDULE_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown schedule kind {kind!r}; choose from {sorted(SCHEDULE_KINDS)}"
+        ) from None
+    return cls.from_config(config)
 
 
 def phase_counts(

@@ -354,3 +354,45 @@ class TestAdaptiveScheduleUnderEngine:
         engine = _adagp(schedule=AdaptiveSchedule(warmup_epochs=2))
         history = engine.fit(_train_fn(split), _val_fn(split), epochs=2)
         assert history.gp_batches == [0, 0]
+
+
+class TestHistoryGPShare:
+    """History owns the GP-share arithmetic callers used to hand-roll."""
+
+    def test_gp_share_and_fraction_recorded(self):
+        split = _tiny_split()
+        engine = _adagp()  # warm-up 1 epoch, then 2:1
+        history = engine.fit(_train_fn(split), _val_fn(split), epochs=2)
+        assert history.gp_fraction == [0.0, 2 / 3]  # 3 batches at 2:1
+        expected = sum(history.gp_batches) / (
+            sum(history.gp_batches) + sum(history.bp_batches)
+        )
+        assert history.gp_share == expected > 0.0
+
+    def test_plain_bp_share_is_zero(self):
+        split = _tiny_split()
+        engine = bp_engine(
+            _tiny_model(), CrossEntropyLoss(), lr=0.05, metric_fn=accuracy
+        )
+        history = engine.fit(_train_fn(split), _val_fn(split), epochs=1)
+        assert history.gp_share == 0.0
+        assert history.gp_fraction == [0.0]
+
+    def test_empty_history_raises(self):
+        from repro.core import History
+
+        with pytest.raises(ValueError):
+            History().gp_share
+
+    def test_old_pickles_backfill_missing_fields(self):
+        """A History pickled before gp_fraction existed must restore
+        with the field defaulted, not AttributeError on first append."""
+        from repro.core import History
+
+        history = History(train_loss=[0.5], bp_batches=[3], gp_batches=[1])
+        state = history.__dict__.copy()
+        del state["gp_fraction"]  # simulate the pre-field pickle payload
+        restored = History()
+        restored.__setstate__(state)
+        assert restored.gp_fraction == []
+        assert restored.gp_share == 0.25

@@ -1,16 +1,24 @@
 """Tests for the phase schedules (§3.1, §3.5)."""
 
+import json
+
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import nn
 from repro.core import (
     AdaptiveSchedule,
     HeuristicSchedule,
     PAPER_RATIO_LADDER,
     Phase,
+    adagp_engine,
     phase_counts,
+    schedule_from_config,
 )
+from repro.data import synthetic_images
+from repro.nn.losses import CrossEntropyLoss, accuracy
 
 
 class TestHeuristicSchedule:
@@ -115,3 +123,136 @@ class TestAdaptiveSchedule:
 
 def test_paper_ladder_constant_matches_paper():
     assert PAPER_RATIO_LADDER == ((4, (4, 1)), (4, (3, 1)), (4, (2, 1)))
+
+
+class TestConfigRoundTrip:
+    def test_heuristic_round_trips_through_json(self):
+        schedule = HeuristicSchedule(
+            warmup_epochs=3, ladder=((2, (4, 1)), (1, (3, 1))), final_ratio=(2, 1)
+        )
+        config = json.loads(json.dumps(schedule.to_config()))
+        assert schedule_from_config(config) == schedule
+
+    def test_adaptive_round_trips_through_json(self):
+        schedule = AdaptiveSchedule(
+            warmup_epochs=2, thresholds=(1.5, 4.0), ratios=((8, 1), (4, 1), (1, 1))
+        )
+        config = json.loads(json.dumps(schedule.to_config()))
+        rebuilt = schedule_from_config(config)
+        assert rebuilt.warmup_epochs == 2
+        assert rebuilt.thresholds == (1.5, 4.0)
+        assert rebuilt.ratios == ((8, 1), (4, 1), (1, 1))
+        # Tuples restored, not lists: phase logic indexes and compares.
+        assert isinstance(rebuilt.ratios[0], tuple)
+
+    def test_config_excludes_observed_state(self):
+        schedule = AdaptiveSchedule()
+        schedule.observe_mape(3.0)
+        rebuilt = schedule_from_config(schedule.to_config())
+        assert rebuilt._recent_mape == float("inf")
+
+    def test_kind_dispatch_errors(self):
+        with pytest.raises(ValueError, match="kind"):
+            schedule_from_config({"warmup_epochs": 2})
+        with pytest.raises(ValueError, match="unknown schedule kind"):
+            schedule_from_config({"kind": "bayesian"})
+        with pytest.raises(ValueError):
+            HeuristicSchedule.from_config({"kind": "adaptive"})
+
+
+class TestStateDict:
+    def test_adaptive_state_round_trip_is_exact(self):
+        schedule = AdaptiveSchedule()
+        for mape in (12.0, 3.7, 2.2):
+            schedule.observe_mape(mape)
+        rebuilt = AdaptiveSchedule()
+        rebuilt.load_state_dict(schedule.state_dict())
+        assert rebuilt._recent_mape == schedule._recent_mape  # bitwise
+
+    def test_heuristic_state_is_empty(self):
+        schedule = HeuristicSchedule()
+        assert schedule.state_dict() == {}
+        schedule.load_state_dict({})
+        with pytest.raises(ValueError):
+            schedule.load_state_dict({"_recent_mape": 1.0})
+
+
+class TestScheduleCheckpointResume:
+    """Satellite regression: the smoothed ``_recent_mape`` must survive
+    an engine checkpoint/resume bit-identically, so a resumed adaptive
+    run earns exactly the ratios the uninterrupted run would."""
+
+    def _engine(self):
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(
+            nn.Conv2d(3, 4, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(),
+            nn.Linear(4, 3, rng=rng),
+        )
+        return adagp_engine(
+            model,
+            CrossEntropyLoss(),
+            lr=0.05,
+            metric_fn=accuracy,
+            schedule=AdaptiveSchedule(warmup_epochs=1, thresholds=(1e9, 2e9, 3e9)),
+        )
+
+    def _fit(self, engine, split, epochs):
+        return engine.fit(
+            lambda: split.train.batches(16, rng=np.random.default_rng(1)),
+            lambda: split.val.batches(24, shuffle=False),
+            epochs=epochs,
+        )
+
+    def test_duck_typed_schedule_state_still_checkpointed(self, tmp_path):
+        """A custom schedule tracking ``_recent_mape`` without the
+        state_dict protocol keeps its pre-protocol checkpoint coverage."""
+
+        class LegacySchedule:
+            warmup_epochs = 0
+            _recent_mape = float("inf")
+
+            def phase_for(self, epoch, batch_index):
+                return Phase.BP
+
+            def ratio_for_epoch(self, epoch):
+                return (1, 1)
+
+        split = synthetic_images(3, 48, 24, image_size=8, seed=0)
+        engine = self._engine()
+        engine.schedule = LegacySchedule()
+        self._fit(engine, split, 1)
+        engine.schedule._recent_mape = 7.25
+        path = str(tmp_path / "legacy.pkl")
+        engine.save_checkpoint(path)
+
+        fresh = self._engine()
+        fresh.schedule = LegacySchedule()
+        fresh.load_checkpoint(path)
+        assert fresh.schedule._recent_mape == 7.25
+
+    def test_recent_mape_survives_checkpoint_resume(self, tmp_path):
+        split = synthetic_images(3, 48, 24, image_size=8, seed=0)
+        path = str(tmp_path / "ckpt.pkl")
+
+        straight = self._engine()
+        self._fit(straight, split, 4)
+
+        interrupted = self._engine()
+        self._fit(interrupted, split, 2)
+        observed = interrupted.schedule._recent_mape
+        assert np.isfinite(observed)  # warm-up trained the predictor
+        interrupted.save_checkpoint(path)
+
+        resumed = self._engine()
+        resumed.load_checkpoint(path)
+        assert resumed.schedule._recent_mape == observed  # bitwise
+        self._fit(resumed, split, 2)
+
+        assert resumed.schedule._recent_mape == straight.schedule._recent_mape
+        assert resumed.history.train_loss == straight.history.train_loss
+        assert resumed.history.val_metric == straight.history.val_metric
+        assert resumed.history.gp_batches == straight.history.gp_batches
+        assert resumed.history.gp_fraction == straight.history.gp_fraction
+

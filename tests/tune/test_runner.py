@@ -1,0 +1,191 @@
+"""Tests for the parallel runner: journal resume, crash isolation."""
+
+import json
+
+import pytest
+
+from repro.tune import (
+    JOURNAL_VERSION,
+    SearchRunner,
+    TrialSpec,
+    load_journal,
+    spec_from_config,
+)
+
+TINY = dict(
+    model="VGG13", dataset="Cifar10", num_train=32, num_val=16,
+    batch_size=16, epochs=2, lr=0.05,
+)
+
+
+def _specs(count=3, **overrides):
+    params = {**TINY, **overrides}
+    return [
+        spec_from_config(
+            f"t{i:02d}",
+            {"kind": "adaptive", "warmup_epochs": 1, "threshold_scale": 2.0 + i},
+            seed=i,
+            **params,
+        )
+        for i in range(count)
+    ]
+
+
+class TestSerialRunner:
+    def test_results_in_spec_order(self):
+        results = SearchRunner().run(_specs(2))
+        assert [r.trial_id for r in results] == ["t00", "t01"]
+        assert all(r.status == "ok" for r in results)
+
+    def test_duplicate_ids_rejected(self):
+        specs = _specs(1) * 2
+        with pytest.raises(ValueError, match="unique"):
+            SearchRunner().run(specs)
+
+    def test_crash_isolation(self):
+        """A failing trial becomes a failed result; the rest complete."""
+        specs = _specs(2)
+        bad = TrialSpec(**{**specs[0].to_dict(), "trial_id": "bad", "model": "NoSuchNet"})
+        results = SearchRunner().run([specs[0], bad, specs[1]])
+        assert [r.status for r in results] == ["ok", "failed", "ok"]
+        assert "NoSuchNet" in results[1].error
+
+
+class TestJournalResume:
+    def test_interrupted_search_resumes_bit_identically(self, tmp_path):
+        """Run a prefix, then the full search against the same journal:
+        finished trials are not re-run and every result matches an
+        uninterrupted run exactly (minus wall time)."""
+        journal = tmp_path / "search.jsonl"
+        specs = _specs(3)
+
+        first = SearchRunner(journal=journal)
+        first.run(specs[:2])  # the "interrupted" prefix
+        assert first.executed == 2
+
+        resumed = SearchRunner(journal=journal)
+        resumed_results = resumed.run(specs)
+        assert resumed.executed == 1  # only the unfinished trial ran
+
+        uninterrupted = SearchRunner().run(specs)
+        assert [r.deterministic_dict() for r in resumed_results] == [
+            r.deterministic_dict() for r in uninterrupted
+        ]
+
+    def test_journal_records_are_versioned(self, tmp_path):
+        journal = tmp_path / "search.jsonl"
+        SearchRunner(journal=journal).run(_specs(1))
+        record = json.loads(journal.read_text().splitlines()[0])
+        assert record["version"] == JOURNAL_VERSION
+        assert record["trial"]["trial_id"] == "t00"
+        assert record["result"]["status"] == "ok"
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        journal = tmp_path / "search.jsonl"
+        runner = SearchRunner(journal=journal)
+        runner.run(_specs(2))
+        with journal.open("a") as handle:
+            handle.write('{"version": 1, "trial": {"trial_id": "t02"')  # torn
+        assert set(load_journal(journal)) == {"t00", "t01"}
+        resumed = SearchRunner(journal=journal)
+        resumed.run(_specs(3))
+        assert resumed.executed == 1
+
+    def test_mismatched_spec_fails_loudly(self, tmp_path):
+        """A journal from a different search must not silently satisfy
+        this one."""
+        journal = tmp_path / "search.jsonl"
+        SearchRunner(journal=journal).run(_specs(1))
+        changed = _specs(1, epochs=3)
+        with pytest.raises(ValueError, match="different spec"):
+            SearchRunner(journal=journal).run(changed)
+
+    def test_tuple_bearing_specs_resume_cleanly(self, tmp_path):
+        """Hand-built specs with tuples (prune kwargs, schedule knobs)
+        must compare equal to their JSON round-trip, or resume would
+        reject its own journal as belonging to another search."""
+        journal = tmp_path / "search.jsonl"
+        spec = TrialSpec(
+            **{
+                **_specs(1)[0].to_dict(),
+                "trial_id": "tup",
+                "prune": {"rung_epochs": (1,), "thresholds": (0.0,)},
+            }
+        )
+        SearchRunner(journal=journal).run([spec])
+        resumed = SearchRunner(journal=journal)
+        results = resumed.run([spec])
+        assert resumed.executed == 0
+        assert results[0].status in ("ok", "pruned")
+
+    def test_failed_trials_are_journaled_too(self, tmp_path):
+        journal = tmp_path / "search.jsonl"
+        bad = TrialSpec(
+            **{**_specs(1)[0].to_dict(), "trial_id": "bad", "model": "NoSuchNet"}
+        )
+        SearchRunner(journal=journal).run([bad])
+        resumed = SearchRunner(journal=journal)
+        results = resumed.run([bad])
+        assert resumed.executed == 0
+        assert results[0].status == "failed"
+
+
+class TestParallelRunner:
+    def test_pool_matches_serial_bit_for_bit(self):
+        specs = _specs(3)
+        serial = SearchRunner(workers=1).run(specs)
+        parallel = SearchRunner(workers=2).run(specs)
+        assert [r.deterministic_dict() for r in parallel] == [
+            r.deterministic_dict() for r in serial
+        ]
+
+    def test_pool_crash_isolation_and_journal(self, tmp_path):
+        journal = tmp_path / "search.jsonl"
+        specs = _specs(2)
+        bad = TrialSpec(**{**specs[0].to_dict(), "trial_id": "bad", "model": "NoSuchNet"})
+        results = SearchRunner(workers=2, journal=journal).run([specs[0], bad, specs[1]])
+        assert [r.status for r in results] == ["ok", "failed", "ok"]
+        assert set(load_journal(journal)) == {"t00", "bad", "t01"}
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError):
+            SearchRunner(workers=0)
+
+    def test_pool_breakage_is_not_journaled(self, tmp_path, monkeypatch):
+        """A worker dying (BrokenProcessPool-class failure) fails the
+        in-flight trial for this run but must NOT be journaled — a
+        resume retries it instead of serving the broken-pool verdict
+        forever."""
+        from repro.tune import runner as runner_module
+
+        class _DeadFuture:
+            def result(self):
+                raise RuntimeError("worker died")
+
+        class _DeadPool:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, arg):
+                return _DeadFuture()
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _DeadPool)
+        monkeypatch.setattr(
+            runner_module, "wait", lambda futures, return_when: (set(futures), set())
+        )
+        journal = tmp_path / "search.jsonl"
+        specs = _specs(2)
+        results = SearchRunner(workers=2, journal=journal).run(specs)
+        assert all(r.status == "failed" for r in results)
+        assert not journal.exists() or load_journal(journal) == {}
+        # The resumed (healthy, serial here) run re-executes everything.
+        healthy = SearchRunner(journal=journal)
+        resumed = healthy.run(specs)
+        assert healthy.executed == 2
+        assert all(r.status == "ok" for r in resumed)

@@ -220,10 +220,16 @@ def test_bench_gp_stream_gate(benchmark):
     for strategy in strategies.values():
         strategy.bind(engine)
 
-    def step(name):
+    pool = nn.get_backend("fused").pool
+
+    def step(name, capture=None):
         phase = Phase.BP if name == "bp" else Phase.GP
         with backend_scope(engine.backend):
             strategies[name].train_batch(x, y, phase)
+        if capture is not None:
+            # Snapshot before clear_caches: clearing resets the pool's
+            # hit/miss counters along with the model caches.
+            capture.update(pool.stats())
         engine.model.clear_caches()
 
     # Warm every path (BLAS planning, workspace pool, predictor scales).
@@ -234,10 +240,8 @@ def test_bench_gp_stream_gate(benchmark):
     # Pool counters across one warm hooked-GP step: the peak-allocation
     # proxy.  A no-grad stream must be allocation-free (all workspace
     # acquisitions served by the pool) and leave nothing checked out.
-    pool = nn.get_backend("fused").pool
-    pool.reset_stats()
-    step("gp_hooked")
-    pool_stats = pool.stats()
+    pool_stats: dict = {}
+    step("gp_hooked", capture=pool_stats)
 
     # Per-variant blocks of rounds (a GP step mutates weights, so the
     # variants cannot share one model state trajectory anyway); each

@@ -13,8 +13,20 @@ from repro import nn
 from repro.accel import AcceleratorModel, AdaGPDesign
 from repro.core import AdaGPTrainer, BPTrainer, HeuristicSchedule
 from repro.models import build_mini, spec_for
+from repro.nn.backend import list_backends, native_available
 from repro.nn.losses import CrossEntropyLoss
 from repro.pipeline import PipelineConfig, simulate_chimera
+
+
+def _backend_params():
+    """Every registered backend; native skips where it cannot build."""
+    params = []
+    for name in list_backends():
+        marks = []
+        if name == "native" and not native_available():
+            marks.append(pytest.mark.skip(reason="native extension unavailable"))
+        params.append(pytest.param(name, marks=marks, id=name))
+    return params
 
 
 @pytest.fixture(scope="module")
@@ -31,7 +43,7 @@ def vgg_model():
     return build_mini("VGG13", 10, rng=np.random.default_rng(1))
 
 
-@pytest.mark.parametrize("backend", ["numpy", "fused"])
+@pytest.mark.parametrize("backend", _backend_params())
 def test_bench_conv_forward(benchmark, backend):
     conv = nn.Conv2d(32, 64, 3, padding=1, rng=np.random.default_rng(0))
     x = np.random.default_rng(1).standard_normal((16, 32, 16, 16)).astype(np.float32)
@@ -39,7 +51,7 @@ def test_bench_conv_forward(benchmark, backend):
         benchmark(conv.forward, x)
 
 
-@pytest.mark.parametrize("backend", ["numpy", "fused"])
+@pytest.mark.parametrize("backend", _backend_params())
 def test_bench_conv_backward(benchmark, backend):
     conv = nn.Conv2d(32, 64, 3, padding=1, rng=np.random.default_rng(0))
     x = np.random.default_rng(1).standard_normal((16, 32, 16, 16)).astype(np.float32)

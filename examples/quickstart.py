@@ -13,9 +13,11 @@ This is the smallest end-to-end tour of the library:
 
 Pass ``--backend fused`` to run everything on the fused BLAS compute
 backend (DESIGN.md §7) instead of the reference NumPy ops — same
-numbers within float32 tolerance, measurably faster batches.
+numbers within float32 tolerance, measurably faster batches.  Pass
+``--backend native`` for the compiled C kernels where the extension
+builds (falls back to ``fused`` with a warning otherwise).
 
-Run:  python examples/quickstart.py [--backend numpy|fused]
+Run:  python examples/quickstart.py [--backend numpy|fused|native]
 """
 
 import argparse
@@ -45,7 +47,14 @@ def main() -> None:
         help="compute backend for every engine in this script",
     )
     args = parser.parse_args()
-    nn.use_backend(args.backend)
+    backend = args.backend
+    if backend == "native" and not nn.native_available():
+        print(
+            "warning: native extension unavailable on this machine "
+            "(no C compiler or build failed); falling back to 'fused'"
+        )
+        backend = "fused"
+    nn.use_backend(backend)
     print(f"(compute backend: {nn.current_backend().name})")
 
     split = preset_split("Cifar10", num_train=256, num_val=128, seed=0)

@@ -1,8 +1,40 @@
 """Setup shim: this offline environment lacks the `wheel` package, so
 `pip install -e .` cannot build a wheel; `python setup.py develop` (or
 `pip install -e . --no-build-isolation` once wheel is available) installs
-the same editable package from pyproject.toml metadata."""
+the same editable package from pyproject.toml metadata.
 
-from setuptools import setup
+``python setup.py build_native`` compiles the native backend's C
+kernels (equivalent to ``python -m repro.nn.backend.native_build``);
+the package works without them — they are an acceleration, not a
+dependency.
+"""
 
-setup()
+import sys
+from pathlib import Path
+
+from setuptools import Command, setup
+
+
+class build_native(Command):
+    """Compile the native backend's shared library (cached on source hash)."""
+
+    description = "build the native backend C kernels"
+    user_options = [("force", "f", "rebuild even if the artifact exists")]
+
+    def initialize_options(self) -> None:
+        self.force = False
+
+    def finalize_options(self) -> None:
+        pass
+
+    def run(self) -> None:
+        sys.path.insert(0, str(Path(__file__).parent / "src"))
+        from repro.nn.backend import native_build
+
+        argv = ["--force"] if self.force else []
+        code = native_build.main(argv)
+        if code != 0:
+            raise SystemExit(code)
+
+
+setup(cmdclass={"build_native": build_native})

@@ -208,8 +208,9 @@ class TrainingEngine:
 
         Runs entirely under :func:`~repro.nn.no_grad` with a value-only
         loss: evaluation can never backpropagate, so no layer retains a
-        backward cache and (in eval mode) the fused backend's folded
-        conv+BN path applies.
+        backward cache and (in eval mode) the backend's fold pipeline
+        applies — conv+BN(+ReLU), BN+ReLU and linear+activation each
+        run as one op.
         """
         self.model.eval()
         self.clear_hooks()

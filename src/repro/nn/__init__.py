@@ -11,16 +11,20 @@ from . import backend, functional, init, losses, optim
 from .backend import (
     Backend,
     FusedBackend,
+    NativeBackend,
+    NativeUnavailableError,
     NumpyBackend,
     backend_scope,
     current_backend,
     get_backend,
     list_backends,
+    native_available,
     register_backend,
     use_backend,
 )
 from .layers import *  # noqa: F401,F403 -- curated in layers/__init__.py
 from .layers import __all__ as _layers_all
+from . import passes  # noqa: E402 -- after layers: passes match layer types
 from .losses import (
     BCEWithLogitsLoss,
     CrossEntropyLoss,
@@ -46,13 +50,17 @@ __all__ = [
     "init",
     "losses",
     "optim",
+    "passes",
     "Backend",
     "FusedBackend",
+    "NativeBackend",
+    "NativeUnavailableError",
     "NumpyBackend",
     "backend_scope",
     "current_backend",
     "get_backend",
     "list_backends",
+    "native_available",
     "register_backend",
     "use_backend",
     "BCEWithLogitsLoss",

@@ -1,0 +1,743 @@
+/* kernels.c — C kernels behind the "native" compute backend.
+ *
+ * Direct convolution over NCHW float32 tensors: instead of
+ * materializing an im2col column matrix (which copies the activation
+ * K*K times and is a large slice of the fused backend's conv cost at
+ * bench shapes), the input is copied once into a zero-padded plane and
+ * the convolution runs as register-blocked loops over it.  The forward
+ * and the input gradient share one microkernel (`conv_sample`, the
+ * input gradient being a stride-1 convolution of the dilated-padded
+ * output gradient with the channel-transposed, spatially-flipped
+ * weights); the weight gradient has a fully unrolled K=3/stride=1 fast
+ * path that keeps all nine tap accumulators in vector registers.
+ * Linear forward/backward and the pooling unfold/fold round out the
+ * set.  Everything is exported with C linkage and called through
+ * ctypes (see native_build.py for the build recipe, native.py for
+ * dispatch).
+ *
+ * Numerical contract: float32 storage everywhere, float32 arithmetic in
+ * the saxpy/fma loops, float64 outer accumulators for the long
+ * reductions (weight/bias gradients) so per-op equivalence with the
+ * NumPy reference holds at atol <= 1e-5 without -ffast-math (which is
+ * deliberately NOT used: linking crtfastmath.o from a shared library
+ * would flip the process-wide FTZ/DAZ flags under NumPy's feet).
+ * Reduction loops are written with explicit multi-accumulator blocks so
+ * the compiler can vectorize them without reassociation licenses; the
+ * microkernel inner loops run over 16-float tiles — exactly one
+ * AVX-512 register, or two AVX2 ones — with constant trip counts.
+ *
+ * Threading: every entry point parallelizes its outermost independent
+ * loop with OpenMP when compiled with -fopenmp; each (sample, plane)
+ * pair is owned by exactly one thread, so there are no atomics and the
+ * result is deterministic for a fixed thread count.
+ *
+ * Allocation-failure / exotic-geometry paths fall back to the naive
+ * bounds-checked loops at the bottom of this file, so the exported
+ * entry points are total over all valid inputs.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#if defined(_MSC_VER)
+#define EXPORT __declspec(dllexport)
+#else
+#define EXPORT __attribute__((visibility("default")))
+#endif
+
+typedef int64_t i64;
+
+#define TILE 16
+
+/* 16-float vector type (one AVX-512 register; GCC splits it into two
+ * AVX2 halves on older targets).  Named vector variables are the only
+ * reliable way to keep accumulator tiles in registers across a loop —
+ * equivalent float[9][16] locals verifiably round-trip through the
+ * stack on every iteration, which makes the weight-gradient kernel
+ * load/store bound instead of fma bound. */
+#if defined(__GNUC__) && !defined(_MSC_VER)
+#define HAVE_V16 1
+typedef float v16 __attribute__((vector_size(64)));
+static inline v16 v16_load(const float *p) {
+    v16 v;
+    memcpy(&v, p, sizeof(v));
+    return v;
+}
+static inline float v16_sum(v16 v) {
+    /* Explicit pairwise tree: a sequential s += v[i] loop cannot be
+     * reordered without -fassociative-math and serializes on add
+     * latency. */
+    const float s01 = v[0] + v[1], s23 = v[2] + v[3];
+    const float s45 = v[4] + v[5], s67 = v[6] + v[7];
+    const float s89 = v[8] + v[9], sab = v[10] + v[11];
+    const float scd = v[12] + v[13], sef = v[14] + v[15];
+    return (((s01 + s23) + (s45 + s67)) + ((s89 + sab) + (scd + sef)));
+}
+#endif
+
+static void conv2d_forward_naive(const float *x, const float *w,
+                                 const float *bias, float *out, i64 N, i64 C,
+                                 i64 H, i64 W, i64 O, i64 K, i64 stride,
+                                 i64 pad, i64 OH, i64 OW);
+static void conv2d_backward_input_naive(const float *g, const float *w,
+                                        float *gx, i64 N, i64 C, i64 H, i64 W,
+                                        i64 O, i64 K, i64 stride, i64 pad,
+                                        i64 OH, i64 OW);
+static void conv2d_backward_weight_naive(const float *x, const float *g,
+                                         float *gw, float *gb, i64 N, i64 C,
+                                         i64 H, i64 W, i64 O, i64 K,
+                                         i64 stride, i64 pad, i64 OH, i64 OW);
+
+/* Valid output range [*lo, *hi) along one spatial axis such that the
+ * input index iw = ow*stride - pad + k stays inside [0, W). */
+static void ow_range(i64 W, i64 OW, i64 stride, i64 pad, i64 k, i64 *lo,
+                     i64 *hi) {
+    i64 shift = k - pad; /* iw = ow*stride + shift */
+    i64 lo_ = 0, hi_ = OW;
+    if (shift < 0)
+        lo_ = (-shift + stride - 1) / stride;
+    i64 max_iw = W - 1 - shift;
+    if (max_iw < 0)
+        hi_ = 0;
+    else {
+        i64 last = max_iw / stride;
+        if (last + 1 < hi_)
+            hi_ = last + 1;
+    }
+    if (hi_ < lo_)
+        hi_ = lo_;
+    *lo = lo_;
+    *hi = hi_;
+}
+
+/* Copy P (H, W) planes into zero-padded (H+2p, W+2p) planes. */
+static void pad_planes(const float *restrict x, float *restrict xpad, i64 P,
+                       i64 H, i64 W, i64 pad) {
+    const i64 Hp = H + 2 * pad, Wp = W + 2 * pad;
+    i64 pl;
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+    for (pl = 0; pl < P; pl++) {
+        const float *src = x + pl * H * W;
+        float *dst = xpad + pl * Hp * Wp;
+        memset(dst, 0, (size_t)(pad * Wp) * sizeof(float));
+        for (i64 h = 0; h < H; h++) {
+            float *row = dst + (pad + h) * Wp;
+            for (i64 i = 0; i < pad; i++)
+                row[i] = 0.0f;
+            memcpy(row + pad, src + h * W, (size_t)W * sizeof(float));
+            for (i64 i = 0; i < pad; i++)
+                row[pad + W + i] = 0.0f;
+        }
+        memset(dst + (pad + H) * Wp, 0, (size_t)(pad * Wp) * sizeof(float));
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Microkernel: valid convolution of one padded sample.                */
+/*                                                                     */
+/* xp:(C, Hp, Wp) padded input, w:(O, C, K, K), writes O output planes */
+/* at op with row stride `orow` and plane stride `oplane` (decoupled   */
+/* from OH/OW so the input-gradient path can write a cropped interior  */
+/* region of a larger plane).  Blocks 4 output channels x 16 output    */
+/* columns: the hot branch holds the 4x16 accumulator tile in vector   */
+/* registers and performs 4 fused multiply-adds per input-row load.    */
+/* ------------------------------------------------------------------ */
+static void conv_sample(const float *restrict xp, const float *restrict w,
+                        const float *restrict bias, float *restrict op, i64 C,
+                        i64 Hp, i64 Wp, i64 O, i64 K, i64 stride, i64 OH,
+                        i64 OW, i64 orow, i64 oplane) {
+    const i64 CKK = C * K * K;
+    for (i64 ob = 0; ob < O; ob += 4) {
+        const i64 nb = (O - ob < 4) ? O - ob : 4;
+        const float *wb = w + ob * CKK;
+        for (i64 oh = 0; oh < OH; oh++) {
+            for (i64 ow0 = 0; ow0 < OW; ow0 += TILE) {
+                const i64 len = (OW - ow0 < TILE) ? OW - ow0 : TILE;
+                float a[4][TILE];
+                for (i64 j = 0; j < 4; j++)
+                    for (i64 i = 0; i < TILE; i++)
+                        a[j][i] = 0.0f;
+                const float *xbase = xp + (oh * stride) * Wp + ow0 * stride;
+                if (nb == 4 && len == TILE && stride == 1) {
+                    for (i64 c = 0; c < C; c++) {
+                        const float *xc = xbase + c * Hp * Wp;
+                        const float *wc = wb + c * K * K;
+                        for (i64 kh = 0; kh < K; kh++) {
+                            const float *xr = xc + kh * Wp;
+                            for (i64 kw = 0; kw < K; kw++) {
+                                const float *xv = xr + kw;
+                                const float w0 = wc[kh * K + kw];
+                                const float w1 = wc[CKK + kh * K + kw];
+                                const float w2 = wc[2 * CKK + kh * K + kw];
+                                const float w3 = wc[3 * CKK + kh * K + kw];
+                                for (i64 i = 0; i < TILE; i++) {
+                                    a[0][i] += w0 * xv[i];
+                                    a[1][i] += w1 * xv[i];
+                                    a[2][i] += w2 * xv[i];
+                                    a[3][i] += w3 * xv[i];
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    for (i64 c = 0; c < C; c++) {
+                        const float *xc = xbase + c * Hp * Wp;
+                        for (i64 kh = 0; kh < K; kh++) {
+                            const float *xr = xc + kh * Wp;
+                            for (i64 kw = 0; kw < K; kw++) {
+                                for (i64 j = 0; j < nb; j++) {
+                                    const float wv =
+                                        wb[j * CKK + (c * K + kh) * K + kw];
+                                    for (i64 i = 0; i < len; i++)
+                                        a[j][i] += wv * xr[i * stride + kw];
+                                }
+                            }
+                        }
+                    }
+                }
+                for (i64 j = 0; j < nb; j++) {
+                    const float bv = bias ? bias[ob + j] : 0.0f;
+                    float *orow_p = op + (ob + j) * oplane + oh * orow + ow0;
+                    for (i64 i = 0; i < len; i++)
+                        orow_p[i] = a[j][i] + bv;
+                }
+            }
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Convolution forward.                                                */
+/* ------------------------------------------------------------------ */
+EXPORT void conv2d_forward(const float *x, const float *w, const float *bias,
+                           float *out, i64 N, i64 C, i64 H, i64 W, i64 O,
+                           i64 K, i64 stride, i64 pad, i64 OH, i64 OW) {
+    const i64 Hp = H + 2 * pad, Wp = W + 2 * pad;
+    const float *xp = x;
+    float *scratch = NULL;
+    if (pad > 0) {
+        scratch = malloc((size_t)(N * C * Hp * Wp) * sizeof(float));
+        if (!scratch) {
+            conv2d_forward_naive(x, w, bias, out, N, C, H, W, O, K, stride,
+                                 pad, OH, OW);
+            return;
+        }
+        pad_planes(x, scratch, N * C, H, W, pad);
+        xp = scratch;
+    }
+    i64 n;
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+    for (n = 0; n < N; n++)
+        conv_sample(xp + n * C * Hp * Wp, w, bias, out + n * O * OH * OW, C,
+                    Hp, Wp, O, K, stride, OH, OW, OW, OH * OW);
+    free(scratch);
+}
+
+/* ------------------------------------------------------------------ */
+/* Convolution input gradient, as a convolution: gx is the stride-1    */
+/* valid conv of the dilated-padded output gradient with the           */
+/* channel-transposed, spatially-flipped weights.                      */
+/* ------------------------------------------------------------------ */
+EXPORT void conv2d_backward_input(const float *g, const float *w, float *gx,
+                                  i64 N, i64 C, i64 H, i64 W, i64 O, i64 K,
+                                  i64 stride, i64 pad, i64 OH, i64 OW) {
+    const i64 q = K - 1 - pad; /* transpose-conv padding */
+    if (q < 0) {
+        conv2d_backward_input_naive(g, w, gx, N, C, H, W, O, K, stride, pad,
+                                    OH, OW);
+        return;
+    }
+    const i64 Hd = (OH - 1) * stride + 1, Wd = (OW - 1) * stride + 1;
+    /* When (H + 2p - K) is not divisible by the stride, the last
+     * rh/rw input rows/cols are only reached by the *smaller* kernel
+     * taps; extending the right/bottom padding by the remainder makes
+     * the valid conv output exactly (H, W). */
+    const i64 rh = (H + 2 * pad - K) - (OH - 1) * stride;
+    const i64 rw = (W + 2 * pad - K) - (OW - 1) * stride;
+    const i64 Hdp = Hd + 2 * q + rh, Wdp = Wd + 2 * q + rw;
+    float *wt = malloc((size_t)(C * O * K * K) * sizeof(float));
+    float *gdp = malloc((size_t)(N * O * Hdp * Wdp) * sizeof(float));
+    if (!wt || !gdp) {
+        free(wt);
+        free(gdp);
+        conv2d_backward_input_naive(g, w, gx, N, C, H, W, O, K, stride, pad,
+                                    OH, OW);
+        return;
+    }
+    /* wt[c][o][kh][kw] = w[o][c][K-1-kh][K-1-kw] */
+    for (i64 c = 0; c < C; c++)
+        for (i64 o = 0; o < O; o++)
+            for (i64 kh = 0; kh < K; kh++)
+                for (i64 kw = 0; kw < K; kw++)
+                    wt[((c * O + o) * K + kh) * K + kw] =
+                        w[((o * C + c) * K + (K - 1 - kh)) * K + (K - 1 - kw)];
+    i64 pl;
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+    for (pl = 0; pl < N * O; pl++) {
+        const float *src = g + pl * OH * OW;
+        float *dst = gdp + pl * Hdp * Wdp;
+        memset(dst, 0, (size_t)(Hdp * Wdp) * sizeof(float));
+        for (i64 oh = 0; oh < OH; oh++) {
+            float *row = dst + (q + oh * stride) * Wdp + q;
+            if (stride == 1)
+                memcpy(row, src + oh * OW, (size_t)OW * sizeof(float));
+            else
+                for (i64 ow = 0; ow < OW; ow++)
+                    row[ow * stride] = src[oh * OW + ow];
+        }
+    }
+    i64 n;
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+    for (n = 0; n < N; n++)
+        conv_sample(gdp + n * O * Hdp * Wdp, wt, NULL, gx + n * C * H * W, O,
+                    Hdp, Wdp, C, K, 1, H, W, W, H * W);
+    free(wt);
+    free(gdp);
+}
+
+/* ------------------------------------------------------------------ */
+/* Convolution weight/bias gradient.                                   */
+/* gw[o,c,kh,kw] = sum_{n,oh,ow} g[n,o,oh,ow] * xpad[n,c,oh*s+kh,..]   */
+/* ------------------------------------------------------------------ */
+EXPORT void conv2d_backward_weight(const float *x, const float *g, float *gw,
+                                   float *gb, i64 N, i64 C, i64 H, i64 W,
+                                   i64 O, i64 K, i64 stride, i64 pad, i64 OH,
+                                   i64 OW) {
+    const i64 Hp = H + 2 * pad, Wp = W + 2 * pad;
+    const float *xp = x;
+    float *scratch = NULL;
+    if (pad > 0) {
+        scratch = malloc((size_t)(N * C * Hp * Wp) * sizeof(float));
+        if (!scratch) {
+            conv2d_backward_weight_naive(x, g, gw, gb, N, C, H, W, O, K,
+                                         stride, pad, OH, OW);
+            return;
+        }
+        pad_planes(x, scratch, N * C, H, W, pad);
+        xp = scratch;
+    }
+    i64 o;
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+    for (o = 0; o < O; o++) {
+        if (gb) {
+            double bacc = 0.0;
+            for (i64 n = 0; n < N; n++) {
+                const float *gp = g + ((n * O + o) * OH) * OW;
+                float racc[4] = {0.0f, 0.0f, 0.0f, 0.0f};
+                i64 i = 0;
+                for (; i + 4 <= OH * OW; i += 4) {
+                    racc[0] += gp[i];
+                    racc[1] += gp[i + 1];
+                    racc[2] += gp[i + 2];
+                    racc[3] += gp[i + 3];
+                }
+                for (; i < OH * OW; i++)
+                    racc[0] += gp[i];
+                bacc += (double)((racc[0] + racc[1]) + (racc[2] + racc[3]));
+            }
+            gb[o] = (float)bacc;
+        }
+        for (i64 c = 0; c < C; c++) {
+            float *gwr = gw + (o * C + c) * K * K;
+#if defined(HAVE_V16)
+            if (K == 3 && stride == 1) {
+                /* Nine tap accumulators, each one 16-float register
+                 * vector, held across the whole plane; one grad load
+                 * feeds nine fmas. */
+                double accd[9] = {0.0};
+                for (i64 n = 0; n < N; n++) {
+                    const float *gp = g + ((n * O + o) * OH) * OW;
+                    const float *xc = xp + (n * C + c) * Hp * Wp;
+                    v16 a0 = {0.0f}, a1 = {0.0f}, a2 = {0.0f};
+                    v16 a3 = {0.0f}, a4 = {0.0f}, a5 = {0.0f};
+                    v16 a6 = {0.0f}, a7 = {0.0f}, a8 = {0.0f};
+                    float tl[9] = {0.0f};
+                    for (i64 oh = 0; oh < OH; oh++) {
+                        const float *gr = gp + oh * OW;
+                        const float *x0 = xc + oh * Wp;
+                        const float *x1 = x0 + Wp;
+                        const float *x2 = x1 + Wp;
+                        i64 ow0 = 0;
+                        for (; ow0 + TILE <= OW; ow0 += TILE) {
+                            const v16 gv = v16_load(gr + ow0);
+                            a0 += gv * v16_load(x0 + ow0);
+                            a1 += gv * v16_load(x0 + ow0 + 1);
+                            a2 += gv * v16_load(x0 + ow0 + 2);
+                            a3 += gv * v16_load(x1 + ow0);
+                            a4 += gv * v16_load(x1 + ow0 + 1);
+                            a5 += gv * v16_load(x1 + ow0 + 2);
+                            a6 += gv * v16_load(x2 + ow0);
+                            a7 += gv * v16_load(x2 + ow0 + 1);
+                            a8 += gv * v16_load(x2 + ow0 + 2);
+                        }
+                        for (; ow0 < OW; ow0++) {
+                            const float gv = gr[ow0];
+                            tl[0] += gv * x0[ow0];
+                            tl[1] += gv * x0[ow0 + 1];
+                            tl[2] += gv * x0[ow0 + 2];
+                            tl[3] += gv * x1[ow0];
+                            tl[4] += gv * x1[ow0 + 1];
+                            tl[5] += gv * x1[ow0 + 2];
+                            tl[6] += gv * x2[ow0];
+                            tl[7] += gv * x2[ow0 + 1];
+                            tl[8] += gv * x2[ow0 + 2];
+                        }
+                    }
+                    accd[0] += (double)(v16_sum(a0) + tl[0]);
+                    accd[1] += (double)(v16_sum(a1) + tl[1]);
+                    accd[2] += (double)(v16_sum(a2) + tl[2]);
+                    accd[3] += (double)(v16_sum(a3) + tl[3]);
+                    accd[4] += (double)(v16_sum(a4) + tl[4]);
+                    accd[5] += (double)(v16_sum(a5) + tl[5]);
+                    accd[6] += (double)(v16_sum(a6) + tl[6]);
+                    accd[7] += (double)(v16_sum(a7) + tl[7]);
+                    accd[8] += (double)(v16_sum(a8) + tl[8]);
+                }
+                for (i64 k = 0; k < 9; k++)
+                    gwr[k] = (float)accd[k];
+            } else {
+#else
+            if (0) {
+            } else {
+#endif
+                for (i64 kh = 0; kh < K; kh++) {
+                    for (i64 kw = 0; kw < K; kw++) {
+                        double acc = 0.0;
+                        for (i64 n = 0; n < N; n++) {
+                            const float *gp = g + ((n * O + o) * OH) * OW;
+                            const float *xc = xp + (n * C + c) * Hp * Wp;
+                            for (i64 oh = 0; oh < OH; oh++) {
+                                const float *gr = gp + oh * OW;
+                                const float *xr =
+                                    xc + (oh * stride + kh) * Wp + kw;
+                                float dot[4] = {0.0f, 0.0f, 0.0f, 0.0f};
+                                i64 i = 0;
+                                if (stride == 1) {
+                                    for (; i + 4 <= OW; i += 4) {
+                                        dot[0] += gr[i] * xr[i];
+                                        dot[1] += gr[i + 1] * xr[i + 1];
+                                        dot[2] += gr[i + 2] * xr[i + 2];
+                                        dot[3] += gr[i + 3] * xr[i + 3];
+                                    }
+                                    for (; i < OW; i++)
+                                        dot[0] += gr[i] * xr[i];
+                                } else {
+                                    for (; i < OW; i++)
+                                        dot[0] += gr[i] * xr[i * stride];
+                                }
+                                acc += (double)((dot[0] + dot[1]) +
+                                                (dot[2] + dot[3]));
+                            }
+                        }
+                        gwr[kh * K + kw] = (float)acc;
+                    }
+                }
+            }
+        }
+    }
+    free(scratch);
+}
+
+/* ------------------------------------------------------------------ */
+/* Linear: out = x @ w^T + bias.  x:(M,IN) w:(OUT,IN) out:(M,OUT).     */
+/* ------------------------------------------------------------------ */
+EXPORT void linear_forward(const float *x, const float *w, const float *bias,
+                           float *out, i64 M, i64 IN, i64 OUT) {
+    i64 m;
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+    for (m = 0; m < M; m++) {
+        const float *xr = x + m * IN;
+        float *orow = out + m * OUT;
+        for (i64 o = 0; o < OUT; o++) {
+            const float *wr = w + o * IN;
+            float dot[8] = {0.0f};
+            i64 i = 0;
+            for (; i + 8 <= IN; i += 8)
+                for (i64 j = 0; j < 8; j++)
+                    dot[j] += xr[i + j] * wr[i + j];
+            for (; i < IN; i++)
+                dot[0] += xr[i] * wr[i];
+            float acc = ((dot[0] + dot[1]) + (dot[2] + dot[3])) +
+                        ((dot[4] + dot[5]) + (dot[6] + dot[7]));
+            orow[o] = acc + (bias ? bias[o] : 0.0f);
+        }
+    }
+}
+
+/* gw = g^T @ x, gb = colsum(g), gx = g @ w. */
+EXPORT void linear_backward(const float *x, const float *g, const float *w,
+                            float *gx, float *gw, float *gb, i64 M, i64 IN,
+                            i64 OUT) {
+    i64 o, m;
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+    for (o = 0; o < OUT; o++) {
+        float *gwr = gw + o * IN;
+        for (i64 i = 0; i < IN; i++)
+            gwr[i] = 0.0f;
+        double bacc = 0.0;
+        for (i64 mm = 0; mm < M; mm++) {
+            const float gv = g[mm * OUT + o];
+            bacc += (double)gv;
+            const float *xr = x + mm * IN;
+            for (i64 i = 0; i < IN; i++)
+                gwr[i] += gv * xr[i];
+        }
+        if (gb)
+            gb[o] = (float)bacc;
+    }
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+    for (m = 0; m < M; m++) {
+        float *gxr = gx + m * IN;
+        for (i64 i = 0; i < IN; i++)
+            gxr[i] = 0.0f;
+        const float *gr = g + m * OUT;
+        for (i64 oo = 0; oo < OUT; oo++) {
+            const float gv = gr[oo];
+            const float *wr = w + oo * IN;
+            for (i64 i = 0; i < IN; i++)
+                gxr[i] += gv * wr[i];
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* unfold (im2col): cols:(N, C*K*K, OH*OW), padded slots get `fill`.   */
+/* ------------------------------------------------------------------ */
+EXPORT void unfold(const float *x, float *cols, i64 N, i64 C, i64 H, i64 W,
+                   i64 K, i64 stride, i64 pad, i64 OH, i64 OW, float fill) {
+    i64 n, c;
+#if defined(_OPENMP)
+#pragma omp parallel for collapse(2) schedule(static)
+#endif
+    for (n = 0; n < N; n++) {
+        for (c = 0; c < C; c++) {
+            const float *xpl = x + ((n * C + c) * H) * W;
+            for (i64 kh = 0; kh < K; kh++) {
+                for (i64 kw = 0; kw < K; kw++) {
+                    float *col =
+                        cols +
+                        (n * C * K * K + (c * K + kh) * K + kw) * OH * OW;
+                    i64 lo, hi;
+                    ow_range(W, OW, stride, pad, kw, &lo, &hi);
+                    const i64 base = lo * stride - pad + kw;
+                    for (i64 oh = 0; oh < OH; oh++) {
+                        float *dst = col + oh * OW;
+                        const i64 ih = oh * stride - pad + kh;
+                        if (ih < 0 || ih >= H) {
+                            for (i64 i = 0; i < OW; i++)
+                                dst[i] = fill;
+                            continue;
+                        }
+                        for (i64 i = 0; i < lo; i++)
+                            dst[i] = fill;
+                        const float *xr = xpl + ih * W + base;
+                        if (stride == 1) {
+                            for (i64 i = 0; i < hi - lo; i++)
+                                dst[lo + i] = xr[i];
+                        } else {
+                            for (i64 i = 0; i < hi - lo; i++)
+                                dst[lo + i] = xr[i * stride];
+                        }
+                        for (i64 i = hi; i < OW; i++)
+                            dst[i] = fill;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/* fold (col2im): adjoint scatter-add of unfold; gx is overwritten.    */
+EXPORT void fold(const float *cols, float *gx, i64 N, i64 C, i64 H, i64 W,
+                 i64 K, i64 stride, i64 pad, i64 OH, i64 OW) {
+    i64 n, c;
+#if defined(_OPENMP)
+#pragma omp parallel for collapse(2) schedule(static)
+#endif
+    for (n = 0; n < N; n++) {
+        for (c = 0; c < C; c++) {
+            float *gxp = gx + ((n * C + c) * H) * W;
+            memset(gxp, 0, (size_t)(H * W) * sizeof(float));
+            for (i64 kh = 0; kh < K; kh++) {
+                for (i64 kw = 0; kw < K; kw++) {
+                    const float *col =
+                        cols +
+                        (n * C * K * K + (c * K + kh) * K + kw) * OH * OW;
+                    i64 lo, hi;
+                    ow_range(W, OW, stride, pad, kw, &lo, &hi);
+                    if (hi <= lo)
+                        continue;
+                    const i64 len = hi - lo;
+                    const i64 base = lo * stride - pad + kw;
+                    for (i64 oh = 0; oh < OH; oh++) {
+                        const i64 ih = oh * stride - pad + kh;
+                        if (ih < 0 || ih >= H)
+                            continue;
+                        float *gxr = gxp + ih * W + base;
+                        const float *cr = col + oh * OW + lo;
+                        if (stride == 1) {
+                            for (i64 i = 0; i < len; i++)
+                                gxr[i] += cr[i];
+                        } else {
+                            for (i64 i = 0; i < len; i++)
+                                gxr[i * stride] += cr[i];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Naive bounds-checked fallbacks (allocation failure, exotic pad).    */
+/* ------------------------------------------------------------------ */
+static void conv2d_forward_naive(const float *x, const float *w,
+                                 const float *bias, float *out, i64 N, i64 C,
+                                 i64 H, i64 W, i64 O, i64 K, i64 stride,
+                                 i64 pad, i64 OH, i64 OW) {
+    i64 n, o;
+#if defined(_OPENMP)
+#pragma omp parallel for collapse(2) schedule(static)
+#endif
+    for (n = 0; n < N; n++) {
+        for (o = 0; o < O; o++) {
+            float *op = out + ((n * O + o) * OH) * OW;
+            const float b = bias ? bias[o] : 0.0f;
+            for (i64 i = 0; i < OH * OW; i++)
+                op[i] = b;
+            for (i64 c = 0; c < C; c++) {
+                const float *xpl = x + ((n * C + c) * H) * W;
+                const float *wp = w + ((o * C + c) * K) * K;
+                for (i64 kh = 0; kh < K; kh++) {
+                    for (i64 kw = 0; kw < K; kw++) {
+                        const float wv = wp[kh * K + kw];
+                        i64 lo, hi;
+                        ow_range(W, OW, stride, pad, kw, &lo, &hi);
+                        if (hi <= lo)
+                            continue;
+                        const i64 len = hi - lo;
+                        const i64 base = lo * stride - pad + kw;
+                        for (i64 oh = 0; oh < OH; oh++) {
+                            const i64 ih = oh * stride - pad + kh;
+                            if (ih < 0 || ih >= H)
+                                continue;
+                            const float *xr = xpl + ih * W + base;
+                            float *orow = op + oh * OW + lo;
+                            for (i64 i = 0; i < len; i++)
+                                orow[i] += wv * xr[i * stride];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+static void conv2d_backward_input_naive(const float *g, const float *w,
+                                        float *gx, i64 N, i64 C, i64 H, i64 W,
+                                        i64 O, i64 K, i64 stride, i64 pad,
+                                        i64 OH, i64 OW) {
+    i64 n, c;
+#if defined(_OPENMP)
+#pragma omp parallel for collapse(2) schedule(static)
+#endif
+    for (n = 0; n < N; n++) {
+        for (c = 0; c < C; c++) {
+            float *gxp = gx + ((n * C + c) * H) * W;
+            memset(gxp, 0, (size_t)(H * W) * sizeof(float));
+            for (i64 o = 0; o < O; o++) {
+                const float *gp = g + ((n * O + o) * OH) * OW;
+                const float *wp = w + ((o * C + c) * K) * K;
+                for (i64 kh = 0; kh < K; kh++) {
+                    for (i64 kw = 0; kw < K; kw++) {
+                        const float wv = wp[kh * K + kw];
+                        i64 lo, hi;
+                        ow_range(W, OW, stride, pad, kw, &lo, &hi);
+                        if (hi <= lo)
+                            continue;
+                        const i64 len = hi - lo;
+                        const i64 base = lo * stride - pad + kw;
+                        for (i64 oh = 0; oh < OH; oh++) {
+                            const i64 ih = oh * stride - pad + kh;
+                            if (ih < 0 || ih >= H)
+                                continue;
+                            float *gxr = gxp + ih * W + base;
+                            const float *gr = gp + oh * OW + lo;
+                            for (i64 i = 0; i < len; i++)
+                                gxr[i * stride] += wv * gr[i];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+static void conv2d_backward_weight_naive(const float *x, const float *g,
+                                         float *gw, float *gb, i64 N, i64 C,
+                                         i64 H, i64 W, i64 O, i64 K,
+                                         i64 stride, i64 pad, i64 OH,
+                                         i64 OW) {
+    i64 o;
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+    for (o = 0; o < O; o++) {
+        if (gb) {
+            double bacc = 0.0;
+            for (i64 n = 0; n < N; n++) {
+                const float *gp = g + ((n * O + o) * OH) * OW;
+                for (i64 i = 0; i < OH * OW; i++)
+                    bacc += (double)gp[i];
+            }
+            gb[o] = (float)bacc;
+        }
+        for (i64 c = 0; c < C; c++) {
+            for (i64 kh = 0; kh < K; kh++) {
+                for (i64 kw = 0; kw < K; kw++) {
+                    i64 lo, hi;
+                    ow_range(W, OW, stride, pad, kw, &lo, &hi);
+                    const i64 len = hi - lo;
+                    const i64 base = lo * stride - pad + kw;
+                    double acc = 0.0;
+                    if (len > 0) {
+                        for (i64 n = 0; n < N; n++) {
+                            const float *gp = g + ((n * O + o) * OH) * OW;
+                            const float *xpl = x + ((n * C + c) * H) * W;
+                            for (i64 oh = 0; oh < OH; oh++) {
+                                const i64 ih = oh * stride - pad + kh;
+                                if (ih < 0 || ih >= H)
+                                    continue;
+                                const float *gr = gp + oh * OW + lo;
+                                const float *xr = xpl + ih * W + base;
+                                float dot = 0.0f;
+                                for (i64 i = 0; i < len; i++)
+                                    dot += gr[i] * xr[i * stride];
+                                acc += (double)dot;
+                            }
+                        }
+                    }
+                    gw[((o * C + c) * K + kh) * K + kw] = (float)acc;
+                }
+            }
+        }
+    }
+}

@@ -20,16 +20,16 @@ idiom (per-op equivalence is pinned at ``atol <= 1e-5`` by
 * 1x1 stride-1 convolutions skip im2col entirely: the input *is* the
   column matrix as a reshape view and the forward is one batched matmul
   — the bottleneck-conv fast path that dominates ResNet-style models.
-* Forward-only (``nn.no_grad``) streams get a folded conv+BN(+ReLU)
-  path: when batch-norm normalizes with running statistics, the pair
-  collapses into one GEMM with per-channel-rescaled weights, cached per
-  (conv, bn) pair and invalidated by parameter-version bumps (any
-  optimizer/GP update) or a running-stats refresh (DESIGN.md §8).
+* Forward-only (``nn.no_grad``) streams run through the shared fold
+  pipeline (:mod:`repro.nn.passes`): conv+BN(+ReLU) collapses into one
+  GEMM with per-channel-rescaled weights, BN+ReLU into an in-place
+  affine, linear+activation into a GEMM with the activation applied in
+  place — version-cache invalidation and eligibility rules live with
+  the passes (DESIGN.md §8, §10).
 """
 
 from __future__ import annotations
 
-import weakref
 from typing import Optional
 
 import numpy as np
@@ -88,6 +88,16 @@ class WorkspacePool:
             buf.nbytes for parked in self._free.values() for buf in parked
         )
 
+    def parked_bytes_by_dtype(self) -> dict[str, int]:
+        """Parked bytes per dtype string (e.g. ``{"<f4": 262144}``)."""
+        by_dtype: dict[str, int] = {}
+        for (_shape, dtype), parked in self._free.items():
+            if parked:
+                by_dtype[dtype] = by_dtype.get(dtype, 0) + sum(
+                    buf.nbytes for buf in parked
+                )
+        return by_dtype
+
     def stats(self) -> dict:
         """Counters for benchmark records (peak-allocation proxy)."""
         return {
@@ -95,6 +105,7 @@ class WorkspacePool:
             "misses": self.misses,
             "outstanding": self.outstanding,
             "parked_bytes": self.parked_bytes(),
+            "parked_bytes_by_dtype": self.parked_bytes_by_dtype(),
         }
 
     def reset_stats(self) -> None:
@@ -113,8 +124,6 @@ class FusedBackend(NumpyBackend):
     def __init__(self, max_buffers_per_shape: int = 8) -> None:
         self.pool = WorkspacePool(max_per_key=max_buffers_per_shape)
         self._paths: dict[tuple, list] = {}
-        # (id(conv), id(bn)) -> (version key, folded weight, folded bias).
-        self._folded: dict[tuple[int, int], tuple] = {}
 
     # -- workspace management --------------------------------------------
     def acquire_cols(self, shape, dtype) -> Optional[np.ndarray]:
@@ -125,6 +134,17 @@ class FusedBackend(NumpyBackend):
 
     def clear_workspaces(self) -> None:
         self.pool.clear()
+
+    def reset_stats(self) -> None:
+        self.pool.reset_stats()
+
+    # -- no-grad graph rewriting -----------------------------------------
+    def fold_pipeline(self):
+        # Lazy import: the passes package imports the layer classes,
+        # which import this package back at module load.
+        from ..passes import default_pipeline
+
+        return default_pipeline()
 
     # -- cached einsum contraction paths ---------------------------------
     def _einsum(self, formula: str, *operands: np.ndarray, dtype=None):
@@ -231,83 +251,6 @@ class FusedBackend(NumpyBackend):
 
     def attn_context_t(self, p, g):
         return np.matmul(p.swapaxes(2, 3), g)
-
-    # -- no-grad conv+BN(+ReLU) folding ----------------------------------
-    @staticmethod
-    def _fold_versions(conv, bn) -> tuple:
-        return (
-            conv.weight.version,
-            conv.bias.version if conv.bias is not None else -1,
-            bn.weight.version,
-            bn.bias.version,
-            bn.stats_version,
-        )
-
-    def _folded_params(self, conv, bn) -> tuple[np.ndarray, np.ndarray]:
-        """Folded (weight, bias) for a Conv2d -> BatchNorm2d pair.
-
-        ``y = gamma * (conv(x) - mean) * inv_std + beta`` collapses into
-        a single convolution with ``W' = W * s`` and
-        ``b' = beta + s * (conv_bias - mean)`` where
-        ``s = gamma / sqrt(running_var + eps)`` per output channel.
-        Cached per (conv, bn) pair; the cache key is the parameters'
-        mutation versions plus the BN stats version, so any optimizer
-        step — a Phase-GP predicted update included — or a running-stats
-        refresh invalidates it on the next lookup.
-        """
-        key = (id(conv), id(bn))
-        versions = self._fold_versions(conv, bn)
-        entry = self._folded.get(key)
-        # The identity check (weakrefs still pointing at *these* layers)
-        # guards against id() reuse after the original pair was
-        # collected; the weakref callback also evicts dead entries so
-        # the cache cannot grow with discarded models.
-        if (
-            entry is not None
-            and entry[0] == versions
-            and entry[3]() is conv
-            and entry[4]() is bn
-        ):
-            return entry[1], entry[2]
-        scale = bn.weight.data / np.sqrt(bn.running_var + bn.eps)
-        w = (conv.weight.data * scale[:, None, None, None]).astype(np.float32)
-        conv_bias = (
-            conv.bias.data if conv.bias is not None else np.float32(0.0)
-        )
-        b = (
-            bn.bias.data + scale * (conv_bias - bn.running_mean)
-        ).astype(np.float32)
-        evict = lambda _ref, key=key: self._folded.pop(key, None)  # noqa: E731
-        self._folded[key] = (
-            versions,
-            w,
-            b,
-            weakref.ref(conv, evict),
-            weakref.ref(bn, evict),
-        )
-        return w, b
-
-    def folded_conv_bn(self, conv, bn, x, relu: bool = False) -> np.ndarray:
-        """Forward-only Conv2d+BatchNorm2d(+ReLU) as a single GEMM.
-
-        Valid only when the BN normalizes with its *running* statistics
-        (eval mode) — batch-stat normalization cannot be folded because
-        the statistics depend on the conv output being computed.  The
-        ``Sequential`` no-grad fast path enforces that plus hook absence
-        before calling here.  No backward context is retained.
-        """
-        weight, bias = self._folded_params(conv, bn)
-        out, ctx = self.conv2d_forward(
-            x, weight, bias, conv.stride, conv.padding
-        )
-        ctx.release()
-        if relu:
-            np.maximum(out, 0.0, out=out)
-        return out
-
-    def clear_folded(self) -> None:
-        """Drop every cached folded conv+BN weight."""
-        self._folded.clear()
 
     # Batch-norm moments deliberately inherit the reference two-pass
     # mean/var: measurement showed NumPy's pairwise-summation reductions

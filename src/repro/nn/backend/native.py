@@ -1,0 +1,203 @@
+"""NativeBackend: compiled C kernels for the convolution-shaped ops.
+
+The hot ops — conv2d forward/backward and the pooling unfold/fold —
+dispatch to the shared library built from ``_native/kernels.c`` (see
+:mod:`.native_build`).  Convolution runs as direct tiled loops over the
+NCHW input: no im2col column matrix is ever materialized, so the
+forward touches ``x`` once instead of copying it K*K times, and the
+backward context pins the *input* instead of a pooled workspace.
+Everything else (linear GEMMs, attention contractions, moments, the 1x1
+pointwise fast path, the workspace pool for pooling layers) is
+inherited from :class:`~.fused.FusedBackend`, as is the fold pipeline,
+so a folded no-grad graph runs identically on both.
+
+Dispatch sends an op to C only where the kernels actually win.  Linear
+layers stay on the inherited BLAS path: the library ships C
+``linear_forward``/``linear_backward`` kernels, but a hand-rolled GEMM
+loses to a tuned BLAS by an order of magnitude at practical shapes —
+conv wins natively because skipping im2col changes the memory traffic,
+not because the C compiler out-multiplies BLAS.  Strided convolutions
+fall back to the im2col path for the same reason: the C microkernel is
+register-blocked for stride-1 output rows, and the generic strided loop
+it degrades to runs 2-5x behind BLAS at ResNet-style shapes.  Set
+``REPRO_NATIVE_LINEAR=1`` / ``REPRO_NATIVE_STRIDED=1`` to dispatch
+those cases to the C kernels anyway (the equivalence tests do, to keep
+every kernel verified).
+
+Dispatch is eligibility-checked per call: float32 C-contiguous operands
+take the C kernels, anything else (float64 gradchecks, sliced views)
+falls back to the inherited pure-Python implementation — the backend is
+always *correct*, the kernels are an acceleration of the common case.
+
+Construction raises :class:`NativeUnavailableError` when the extension
+cannot be built (no compiler, ``REPRO_NATIVE=0``); callers that want to
+degrade gracefully check :func:`native_available` first, as the bench
+gate and test matrix do.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from . import native_build
+from .base import ConvCtx, register_backend
+from .fused import FusedBackend
+
+
+class NativeUnavailableError(RuntimeError):
+    """The native backend was requested but its extension is unusable."""
+
+
+def native_available() -> bool:
+    """True when the compiled kernels can be built/loaded on this host."""
+    return native_build.available()
+
+
+def _f32c(a: np.ndarray) -> bool:
+    return a.dtype == np.float32 and a.flags.c_contiguous
+
+
+def _ptr(a: Optional[np.ndarray]):
+    return None if a is None else ctypes.c_void_p(a.ctypes.data)
+
+
+class NativeBackend(FusedBackend):
+    """Direct-loop compiled conv/pooling kernels over float32."""
+
+    name = "native"
+
+    def __init__(self, max_buffers_per_shape: int = 8) -> None:
+        super().__init__(max_buffers_per_shape)
+        try:
+            self._lib = native_build.load()
+        except (native_build.NativeBuildError, OSError) as exc:
+            raise NativeUnavailableError(
+                f"native backend unavailable: {exc}"
+            ) from exc
+        # Opt-in only — BLAS beats the C GEMM and the generic strided
+        # conv loop (see the module docstring).
+        self._c_linear = os.environ.get("REPRO_NATIVE_LINEAR") == "1"
+        self._c_strided = os.environ.get("REPRO_NATIVE_STRIDED") == "1"
+
+    # -- convolution -----------------------------------------------------
+    def conv2d_forward(self, x, weight, bias, stride, padding):
+        kernel = weight.shape[2]
+        if (
+            self._is_pointwise(kernel, stride, padding)
+            or (stride != 1 and not self._c_strided)
+            or not _f32c(x)
+            or not _f32c(weight)
+            or (bias is not None and not _f32c(bias))
+        ):
+            # 1x1 stride-1 convs are a single BLAS GEMM upstream (the
+            # input *is* the column matrix), strided convs run faster
+            # through im2col (module docstring); fall back for anything
+            # else the kernels don't cover.
+            return super().conv2d_forward(x, weight, bias, stride, padding)
+        batch, in_c, height, width = x.shape
+        out_c = weight.shape[0]
+        out_h = F.conv_output_size(height, kernel, stride, padding)
+        out_w = F.conv_output_size(width, kernel, stride, padding)
+        out = np.empty((batch, out_c, out_h, out_w), dtype=np.float32)
+        self._lib.conv2d_forward(
+            _ptr(x), _ptr(weight), _ptr(bias), _ptr(out),
+            batch, in_c, height, width, out_c, kernel,
+            stride, padding, out_h, out_w,
+        )
+        # The context pins the raw input (not a pooled column buffer):
+        # backward re-reads x directly, release() is a no-op, and
+        # forward-only streams have nothing to return to the pool.
+        ctx = ConvCtx(self, x, x.shape, kernel, stride, padding, pooled=False)
+        return out, ctx
+
+    def conv2d_backward(self, grad_out, weight, ctx, with_bias=False):
+        if ctx.cols.ndim != 4:
+            # Context from the inherited path (pointwise or fallback
+            # forward): cols is a column matrix, not the input.
+            return super().conv2d_backward(grad_out, weight, ctx, with_bias)
+        x = ctx.cols
+        g = np.ascontiguousarray(grad_out, dtype=np.float32)
+        batch, in_c, height, width = x.shape
+        out_c, _, kernel, _ = weight.shape
+        out_h, out_w = g.shape[2], g.shape[3]
+        grad_x = np.empty_like(x)
+        grad_w = np.empty_like(weight)
+        grad_b = np.empty(out_c, dtype=np.float32) if with_bias else None
+        dims = (
+            batch, in_c, height, width, out_c, kernel,
+            ctx.stride, ctx.padding, out_h, out_w,
+        )
+        self._lib.conv2d_backward_input(_ptr(g), _ptr(weight), _ptr(grad_x), *dims)
+        self._lib.conv2d_backward_weight(_ptr(x), _ptr(g), _ptr(grad_w), _ptr(grad_b), *dims)
+        return grad_x, grad_w, grad_b
+
+    # -- linear ----------------------------------------------------------
+    def linear_forward(self, x, weight, bias):
+        if not self._c_linear or not (
+            _f32c(x) and _f32c(weight) and (bias is None or _f32c(bias))
+        ):
+            return super().linear_forward(x, weight, bias)
+        rows = int(np.prod(x.shape[:-1], dtype=np.int64))
+        out_f, in_f = weight.shape
+        out = np.empty(x.shape[:-1] + (out_f,), dtype=np.float32)
+        self._lib.linear_forward(
+            _ptr(x), _ptr(weight), _ptr(bias), _ptr(out), rows, in_f, out_f
+        )
+        return out
+
+    def linear_backward(self, x, grad_out, weight, with_bias=False):
+        if not self._c_linear or not (
+            _f32c(weight) and _f32c(x) and _f32c(grad_out)
+        ):
+            return super().linear_backward(x, grad_out, weight, with_bias)
+        out_f, in_f = weight.shape
+        rows = int(np.prod(x.shape[:-1], dtype=np.int64))
+        grad_x = np.empty_like(x)
+        grad_w = np.empty_like(weight)
+        grad_b = np.empty(out_f, dtype=np.float32) if with_bias else None
+        self._lib.linear_backward(
+            _ptr(x), _ptr(grad_out), _ptr(weight),
+            _ptr(grad_x), _ptr(grad_w), _ptr(grad_b),
+            rows, in_f, out_f,
+        )
+        return grad_x, grad_w, grad_b
+
+    # -- unfold / fold (pooling columns) ---------------------------------
+    def unfold(self, x, kernel, stride, padding, fill_value=0.0):
+        if not _f32c(x):
+            return super().unfold(x, kernel, stride, padding, fill_value)
+        batch, channels, height, width = x.shape
+        out_h = F.conv_output_size(height, kernel, stride, padding)
+        out_w = F.conv_output_size(width, kernel, stride, padding)
+        cols = self.pool.acquire(
+            (batch, channels * kernel * kernel, out_h * out_w), x.dtype
+        )
+        self._lib.unfold(
+            _ptr(x), _ptr(cols),
+            batch, channels, height, width, kernel,
+            stride, padding, out_h, out_w,
+            ctypes.c_float(fill_value),
+        )
+        return cols, out_h, out_w
+
+    def fold(self, cols, input_shape, kernel, stride, padding):
+        if not _f32c(cols):
+            return super().fold(cols, input_shape, kernel, stride, padding)
+        batch, channels, height, width = input_shape
+        out_h = F.conv_output_size(height, kernel, stride, padding)
+        out_w = F.conv_output_size(width, kernel, stride, padding)
+        grad_x = np.empty(input_shape, dtype=np.float32)
+        self._lib.fold(
+            _ptr(cols), _ptr(grad_x),
+            batch, channels, height, width, kernel,
+            stride, padding, out_h, out_w,
+        )
+        return grad_x
+
+
+register_backend("native", NativeBackend)

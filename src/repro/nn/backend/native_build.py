@@ -1,0 +1,212 @@
+"""Build + load machinery for the native (compiled C) backend kernels.
+
+The kernels live in ``_native/kernels.c`` and are compiled on demand
+into ``_native/build/kernels-<hash>.so``, where ``<hash>`` digests the
+source text plus the exact compiler command line — so editing the C
+file, changing ``CC`` or bumping the flag set each produce a fresh
+artifact while repeat builds (and CI caches keyed on the same hash) are
+a single ``stat`` call.  There is no hard dependency on a toolchain:
+when no compiler is found (or ``REPRO_NATIVE=0`` disables the whole
+path) :func:`available` reports ``False`` and callers fall back to the
+pure-Python backends.
+
+Usage::
+
+    python -m repro.nn.backend.native_build        # build (cached)
+    python -m repro.nn.backend.native_build --force
+
+or programmatically :func:`build` / :func:`load` /
+:func:`available`.  ``setup.py build_native`` wraps the same entry
+point.
+
+The compile is deliberately conservative: ``-O3 -march=native`` with
+``-ffp-contract=fast`` but *without* ``-ffast-math`` — linking
+crtfastmath.o from a shared library would flip the process-wide
+FTZ/DAZ floating-point flags underneath NumPy.  ``-fopenmp`` is probed
+and dropped when the toolchain lacks it.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+_NATIVE_DIR = Path(__file__).resolve().parent / "_native"
+SOURCE = _NATIVE_DIR / "kernels.c"
+BUILD_DIR = _NATIVE_DIR / "build"
+
+# Bump to invalidate every cached artifact regardless of source hash.
+BUILD_TAG = "1"
+
+_BASE_FLAGS = [
+    "-O3",
+    "-march=native",
+    "-funroll-loops",
+    "-ffp-contract=fast",
+    "-fPIC",
+    "-shared",
+    "-std=c99",
+]
+
+
+class NativeBuildError(RuntimeError):
+    """The native extension could not be built or loaded."""
+
+
+def _disabled() -> bool:
+    return os.environ.get("REPRO_NATIVE", "1") == "0"
+
+
+def find_compiler() -> Optional[str]:
+    """The C compiler to use (``$CC``, else gcc/cc/clang), or ``None``."""
+    cc = os.environ.get("CC")
+    if cc:
+        return cc if shutil.which(cc) else None
+    for candidate in ("gcc", "cc", "clang"):
+        path = shutil.which(candidate)
+        if path:
+            return path
+    return None
+
+
+def _command(cc: str, openmp: bool) -> list[str]:
+    flags = list(_BASE_FLAGS)
+    if openmp:
+        flags.append("-fopenmp")
+    return [cc, *flags]
+
+
+def source_hash(cc: str, openmp: bool) -> str:
+    """Digest of the kernel source + full compiler command line."""
+    digest = hashlib.sha256()
+    digest.update(SOURCE.read_bytes())
+    digest.update(" ".join(_command(cc, openmp)).encode())
+    digest.update(BUILD_TAG.encode())
+    return digest.hexdigest()[:16]
+
+
+def lib_path(cc: str, openmp: bool) -> Path:
+    return BUILD_DIR / f"kernels-{source_hash(cc, openmp)}.so"
+
+
+def _compile(cc: str, openmp: bool) -> Path:
+    out = lib_path(cc, openmp)
+    if out.exists():
+        return out
+    BUILD_DIR.mkdir(parents=True, exist_ok=True)
+    # Compile to a temp file then os.replace: concurrent builders
+    # (pytest-xdist, parallel CI shards) race benignly to an atomic
+    # rename instead of loading a half-written object.
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=BUILD_DIR)
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [*_command(cc, openmp), "-o", tmp, str(SOURCE)],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise NativeBuildError(
+                f"compiling {SOURCE.name} with {cc!r} failed:\n{proc.stderr}"
+            )
+        os.replace(tmp, out)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return out
+
+
+def build(force: bool = False) -> Path:
+    """Compile the kernels (cached on source hash); return the .so path.
+
+    Probes ``-fopenmp`` first and falls back to a single-threaded build
+    when the toolchain rejects it.  Raises :class:`NativeBuildError`
+    when disabled via ``REPRO_NATIVE=0``, no compiler is found, or both
+    compiles fail.
+    """
+    if _disabled():
+        raise NativeBuildError("native backend disabled via REPRO_NATIVE=0")
+    if not SOURCE.exists():
+        raise NativeBuildError(f"kernel source missing: {SOURCE}")
+    cc = find_compiler()
+    if cc is None:
+        raise NativeBuildError(
+            "no C compiler found (set $CC or install gcc/clang)"
+        )
+    if force:
+        for stale in BUILD_DIR.glob("kernels-*.so"):
+            stale.unlink(missing_ok=True)
+    try:
+        return _compile(cc, openmp=True)
+    except NativeBuildError:
+        return _compile(cc, openmp=False)
+
+
+_I64 = ctypes.c_int64
+_PTR = ctypes.c_void_p
+_F32 = ctypes.c_float
+
+_SIGNATURES = {
+    # name -> (n_pointer_args, n_i64_dims, trailing_float_args)
+    "conv2d_forward": (4, 10, 0),
+    "conv2d_backward_input": (3, 10, 0),
+    "conv2d_backward_weight": (4, 10, 0),
+    "linear_forward": (4, 3, 0),
+    "linear_backward": (6, 3, 0),
+    "unfold": (2, 9, 1),
+    "fold": (2, 9, 0),
+}
+
+
+def _configure(lib: ctypes.CDLL) -> ctypes.CDLL:
+    for name, (n_ptr, n_dim, n_f32) in _SIGNATURES.items():
+        fn = getattr(lib, name)
+        fn.argtypes = [_PTR] * n_ptr + [_I64] * n_dim + [_F32] * n_f32
+        fn.restype = None
+    return lib
+
+
+_LIB: Optional[ctypes.CDLL] = None
+
+
+def load(force: bool = False) -> ctypes.CDLL:
+    """Build if needed and load the shared library (process singleton)."""
+    global _LIB
+    if _LIB is None or force:
+        _LIB = _configure(ctypes.CDLL(str(build(force=force))))
+    return _LIB
+
+
+def available() -> bool:
+    """True when the native kernels can be built and loaded here."""
+    if _disabled():
+        return False
+    try:
+        load()
+    except (NativeBuildError, OSError):
+        return False
+    return True
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI: build the extension, print the artifact path."""
+    args = sys.argv[1:] if argv is None else argv
+    force = "--force" in args
+    try:
+        path = build(force=force)
+    except NativeBuildError as exc:
+        print(f"native build failed: {exc}", file=sys.stderr)
+        return 1
+    print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

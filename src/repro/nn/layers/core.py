@@ -214,54 +214,34 @@ class Sequential(Module):
         return x
 
     def _forward_no_grad(self, x: np.ndarray) -> np.ndarray:
-        """Forward-only pass: folds Conv2d -> BatchNorm2d (-> ReLU) runs
-        into a single GEMM when the active backend supports it.
+        """Forward-only pass through the active backend's fold pipeline.
 
-        Folding requires the BN to normalize with *fixed* statistics —
-        i.e. eval mode — because the folded weights are precomputed
-        before the conv output (and hence its batch moments) exists; a
-        train-mode BN in a no-grad stream keeps the layer-by-layer path.
-        It also steps aside whenever a forward hook is installed on any
-        folded layer (the hook's per-layer output would never
-        materialize).
+        The backend's ``fold_pipeline()`` (``None`` on the reference
+        backend — exact layer-by-layer semantics) plans the layer list
+        into modules interleaved with folded ops: conv+BN(+ReLU) as one
+        rescaled convolution, eval-BN+ReLU as an in-place affine,
+        linear+activation in place (see :mod:`repro.nn.passes`).
+        Eligibility — running-stats-only BN, no forward hooks on folded
+        layers — is re-checked on every forward because modes and hooks
+        change between batches; folded layers are left in the same
+        NO_GRAD cache state a plain no-grad forward produces.
         """
-        from .activations import ReLU
-        from .norm import BatchNorm2d
+        pipeline = current_backend().fold_pipeline()
+        plan = pipeline.plan(self.layers) if pipeline is not None else None
+        if plan is None:
+            for layer in self.layers:
+                x = layer(x)
+            return x
+        # Deferred import: repro.nn.passes imports the layer classes
+        # defined in this module.
+        from ..passes.base import FoldedOp
 
-        backend = current_backend()
-        fold = getattr(backend, "folded_conv_bn", None)
-        layers = self.layers
-        n = len(layers)
-        i = 0
-        while i < n:
-            layer = layers[i]
-            if (
-                fold is not None
-                and i + 1 < n
-                and type(layer) is Conv2d
-                and type(layers[i + 1]) is BatchNorm2d
-                and not layers[i + 1].training
-                and layer.forward_hook is None
-                and layers[i + 1].forward_hook is None
-                and layers[i + 1].num_features == layer.out_channels
-            ):
-                bn = layers[i + 1]
-                relu = (
-                    i + 2 < n
-                    and type(layers[i + 2]) is ReLU
-                    and layers[i + 2].forward_hook is None
-                )
-                x = fold(layer, bn, x, relu=relu)
-                layer._cache_ctx = NO_GRAD
-                bn._cache = NO_GRAD
-                if relu:
-                    layers[i + 2]._mask = NO_GRAD
-                    i += 3
-                else:
-                    i += 2
-                continue
-            x = layer(x)
-            i += 1
+        for item in plan:
+            if type(item) is FoldedOp:
+                x = item.run(x)
+                item.mark_no_grad()
+            else:
+                x = item(x)
         return x
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -112,9 +112,8 @@ class Parameter:
         self.grad: Optional[np.ndarray] = None
         self.name = name
         # Monotonic mutation counter: optimizers bump it whenever they
-        # update ``data`` so derived caches (folded conv+BN weights in
-        # the fused backend) can detect staleness without comparing
-        # arrays.
+        # update ``data`` so derived caches (the fold passes' conv+BN
+        # weights) can detect staleness without comparing arrays.
         self.version = 0
 
     def bump_version(self) -> None:
@@ -256,10 +255,15 @@ class Module:
         between batches.  Backward requires a fresh forward afterwards.
         Cache objects exposing ``release()`` (backend conv contexts
         holding a pooled workspace) are released back to their pool
-        first.
+        first, and backend workspace-pool counters are reset so every
+        bench window that starts at a cache-clear boundary starts from
+        clean stats.
         """
         for module in self.modules():
             module._clear_cache()
+        from .backend import reset_backend_stats
+
+        reset_backend_stats()
         return self
 
     def _clear_cache(self) -> None:

@@ -1,0 +1,45 @@
+"""`repro.nn.passes` — graph-rewrite passes for forward-only execution.
+
+The pipeline generalizes what used to be a single hard-coded conv+BN
+fold inside the fused backend: a :class:`~.base.Pass` recognizes a
+pattern over a ``Sequential``'s layer list, a
+:class:`~.base.PassPipeline` plans the rewrites, and ``Sequential``
+executes the plan on no-grad forwards for any backend whose
+``fold_pipeline()`` opts in (DESIGN.md §10).  New folds are new passes,
+not special cases.
+"""
+
+from typing import Optional
+
+from .base import FoldCache, FoldedOp, Pass, PassPipeline
+from .folds import BNReLUPass, ConvBNReLUPass, LinearActivationPass
+
+_DEFAULT: Optional[PassPipeline] = None
+
+
+def default_pipeline() -> PassPipeline:
+    """The process-wide pipeline the built-in fast backends consume.
+
+    A lazy singleton so its fold caches are shared across backends —
+    the folded arrays depend only on layer parameters, never on the
+    executing substrate.  Longest pattern first: conv+BN+ReLU must win
+    over BN+ReLU at the shared BatchNorm position.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = PassPipeline(
+            (ConvBNReLUPass(), BNReLUPass(), LinearActivationPass())
+        )
+    return _DEFAULT
+
+
+__all__ = [
+    "BNReLUPass",
+    "ConvBNReLUPass",
+    "FoldCache",
+    "FoldedOp",
+    "LinearActivationPass",
+    "Pass",
+    "PassPipeline",
+    "default_pipeline",
+]

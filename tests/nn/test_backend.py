@@ -1,10 +1,12 @@
 """Tests for the pluggable compute-backend layer.
 
-Covers the registry/selection machinery, the per-op NumPy-vs-Fused
-equivalence matrix (atol <= 1e-5), per-backend numeric gradchecks for
-the five op families the predictor path depends on, the FusedBackend
-workspace pool, the ``one_hot`` validation fix, the vectorized adaptive
-pooling, and ``Module.clear_caches``.
+Covers the registry/selection machinery, the per-op equivalence matrix
+against the NumPy reference (atol <= 1e-5) over *every* registered
+backend, per-backend numeric gradchecks for the five op families the
+predictor path depends on, the FusedBackend workspace pool, the
+``one_hot`` validation fix, the vectorized adaptive pooling, and
+``Module.clear_caches``.  The native compiled backend rides the same
+matrices and is auto-skipped where its extension cannot build.
 """
 
 import numpy as np
@@ -15,11 +17,14 @@ from repro.nn import functional as F
 from repro.nn.backend import (
     ConvCtx,
     FusedBackend,
+    NativeBackend,
+    NativeUnavailableError,
     NumpyBackend,
     backend_scope,
     current_backend,
     get_backend,
     list_backends,
+    native_available,
     register_backend,
     resolve_backend,
     use_backend,
@@ -33,6 +38,22 @@ BACKENDS = ["numpy", "fused"]
 ATOL = 1e-5
 
 
+def backend_params(exclude=()):
+    """Every registered backend as pytest params, native auto-skipped
+    when its extension cannot build on this host."""
+    params = []
+    for name in list_backends():
+        if name in exclude:
+            continue
+        marks = []
+        if name == "native" and not native_available():
+            marks.append(
+                pytest.mark.skip(reason="native extension unavailable")
+            )
+        params.append(pytest.param(name, marks=marks, id=name))
+    return params
+
+
 def _x(shape, seed=0):
     return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
 
@@ -42,14 +63,30 @@ def _x(shape, seed=0):
 # ----------------------------------------------------------------------
 class TestSelection:
     def test_builtin_backends_registered(self):
-        assert {"numpy", "fused"} <= set(list_backends())
+        assert {"numpy", "fused", "native"} <= set(list_backends())
+
+    def test_list_backends_sorted_and_deterministic(self):
+        names = list_backends()
+        assert names == sorted(names)
+        assert names == list_backends()
 
     def test_get_backend_is_singleton(self):
         assert get_backend("fused") is get_backend("fused")
 
-    def test_unknown_backend_raises(self):
-        with pytest.raises(ValueError, match="unknown backend"):
+    def test_unknown_backend_raises_listing_registered(self):
+        with pytest.raises(ValueError, match="unknown backend") as excinfo:
             get_backend("cuda")
+        message = str(excinfo.value)
+        assert "registered" in message
+        for name in list_backends():
+            assert name in message
+
+    def test_native_resolves_or_raises_unavailable(self):
+        if native_available():
+            assert isinstance(get_backend("native"), NativeBackend)
+        else:
+            with pytest.raises(NativeUnavailableError):
+                get_backend("native")
 
     def test_resolve_passthrough(self):
         backend = FusedBackend()
@@ -92,7 +129,7 @@ class TestSelection:
 
 
 # ----------------------------------------------------------------------
-# Per-op NumPy-vs-Fused equivalence matrix.
+# Per-op equivalence matrix: every registered backend vs the reference.
 # ----------------------------------------------------------------------
 def _layer_cases():
     """(name, layer factory, input shape) for the equivalence matrix."""
@@ -112,32 +149,63 @@ def _layer_cases():
     ]
 
 
+def _run_layer(backend, factory, x):
+    """(output, input grad, param grads) for one layer on ``backend``."""
+    nn.init.reset_layer_rng(99)
+    layer = factory()
+    with use_backend(backend):
+        out = layer(x.copy())
+        probe_rng = np.random.default_rng(12)
+        probe = probe_rng.standard_normal(out.shape).astype(np.float32)
+        layer.zero_grad()
+        grad_in = layer.backward(probe.copy())
+    grads = {name_: p.grad for name_, p in layer.named_parameters()}
+    return out, grad_in, grads
+
+
+@pytest.mark.parametrize("backend", backend_params(exclude=("numpy",)))
 @pytest.mark.parametrize("name,factory,shape", _layer_cases())
-def test_fused_matches_numpy(name, factory, shape):
-    """Forward, input-grad and parameter-grad equivalence at atol<=1e-5."""
+def test_backend_matches_numpy(backend, name, factory, shape):
+    """Forward, input-grad and parameter-grad equivalence at atol<=1e-5
+    for every registered backend against the NumPy reference."""
     x = _x(shape, seed=11)
-    probe = None
-    results = {}
-    for backend in BACKENDS:
-        nn.init.reset_layer_rng(99)
-        layer = factory()
-        with use_backend(backend):
-            out = layer(x.copy())
-            if probe is None:
-                probe = np.random.default_rng(12).standard_normal(out.shape)
-                probe = probe.astype(np.float32)
-            layer.zero_grad()
-            grad_in = layer.backward(probe.copy())
-        grads = {name_: p.grad for name_, p in layer.named_parameters()}
-        results[backend] = (out, grad_in, grads)
-    out_n, gin_n, grads_n = results["numpy"]
-    out_f, gin_f, grads_f = results["fused"]
-    np.testing.assert_allclose(out_f, out_n, atol=ATOL, rtol=1e-5)
-    np.testing.assert_allclose(gin_f, gin_n, atol=ATOL, rtol=1e-5)
-    assert grads_n.keys() == grads_f.keys()
+    out_n, gin_n, grads_n = _run_layer("numpy", factory, x)
+    out_b, gin_b, grads_b = _run_layer(backend, factory, x)
+    np.testing.assert_allclose(out_b, out_n, atol=ATOL, rtol=1e-5)
+    np.testing.assert_allclose(gin_b, gin_n, atol=ATOL, rtol=1e-5)
+    assert grads_n.keys() == grads_b.keys()
     for key in grads_n:
         np.testing.assert_allclose(
-            grads_f[key], grads_n[key], atol=ATOL, rtol=1e-4, err_msg=key
+            grads_b[key], grads_n[key], atol=ATOL, rtol=1e-4, err_msg=key
+        )
+
+
+@pytest.mark.skipif(
+    not native_available(), reason="native extension unavailable"
+)
+@pytest.mark.parametrize(
+    "name,factory,shape",
+    [
+        case
+        for case in _layer_cases()
+        if case[0].startswith("linear") or case[0] == "conv_strided"
+    ],
+)
+def test_native_opt_in_kernels_match_numpy(name, factory, shape):
+    """The opt-in C paths (``REPRO_NATIVE_LINEAR=1`` GEMMs,
+    ``REPRO_NATIVE_STRIDED=1`` strided convs) stay correct even though
+    default dispatch keeps them on BLAS."""
+    backend = NativeBackend()
+    backend._c_linear = True
+    backend._c_strided = True
+    x = _x(shape, seed=11)
+    out_n, gin_n, grads_n = _run_layer("numpy", factory, x)
+    out_b, gin_b, grads_b = _run_layer(backend, factory, x)
+    np.testing.assert_allclose(out_b, out_n, atol=ATOL, rtol=1e-5)
+    np.testing.assert_allclose(gin_b, gin_n, atol=ATOL, rtol=1e-5)
+    for key in grads_n:
+        np.testing.assert_allclose(
+            grads_b[key], grads_n[key], atol=ATOL, rtol=1e-4, err_msg=key
         )
 
 
@@ -155,10 +223,11 @@ def _gradcheck_cases():
     ]
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", backend_params())
 @pytest.mark.parametrize("op,factory,shape", _gradcheck_cases())
 def test_gradcheck_matrix(backend, op, factory, shape):
-    """Analytic gradients agree with central differences on both backends."""
+    """Analytic gradients agree with central differences on every
+    registered backend."""
     nn.init.reset_layer_rng(31)
     layer = factory()
     x = _x(shape, seed=41)

@@ -2,9 +2,12 @@
 
 Covers, per layer and per backend: bitwise equality of no-grad vs
 grad-enabled training-mode forwards, verified cache absence, the
-backward-after-no-grad error, workspace-pool cleanliness, and the fused
-backend's folded conv+BN(+ReLU) path (equivalence, invalidation on GP
-updates and on running-stat refreshes, hook/train-mode bail-outs).
+backward-after-no-grad error, workspace-pool cleanliness, and the
+conv+BN(+ReLU) fold — now a pass in ``repro.nn.passes`` consumed by
+every fast backend — with equivalence, invalidation on GP updates and
+on running-stat refreshes, and hook/train-mode bail-outs.
+(``tests/nn/test_passes.py`` covers the other folds and the pipeline
+machinery itself.)
 """
 
 import numpy as np
@@ -13,6 +16,12 @@ import pytest
 from repro import nn
 from repro.nn.backend import FusedBackend
 from repro.nn.module import NO_GRAD, is_grad_enabled, no_grad
+from repro.nn.passes import default_pipeline
+
+
+def _conv_fold_cache():
+    pipeline = default_pipeline()
+    return next(p for p in pipeline.passes if p.name == "conv_bn_relu").cache
 
 BACKENDS = ["numpy", "fused"]
 ATOL = 1e-5
@@ -182,6 +191,12 @@ class TestModelLevel:
 
 
 class TestFoldedConvBN:
+    @pytest.fixture(autouse=True)
+    def _clean_fold_caches(self):
+        default_pipeline().clear_caches()
+        yield
+        default_pipeline().clear_caches()
+
     def _block(self, relu=True, bias=False, seed=0):
         nn.init.reset_layer_rng(seed)
         conv = nn.Conv2d(3, 8, 3, padding=1, bias=bias, rng=np.random.default_rng(1))
@@ -205,7 +220,7 @@ class TestFoldedConvBN:
         with nn.use_backend(backend):
             with no_grad():
                 out = block(x)
-        assert len(backend._folded) == 1  # the fold path actually ran
+        assert len(_conv_fold_cache()) == 1  # the fold path actually ran
         np.testing.assert_allclose(out, reference, atol=ATOL)
 
     def test_fold_invalidated_by_gp_update(self):
@@ -252,7 +267,7 @@ class TestFoldedConvBN:
         with nn.use_backend(backend):
             with no_grad():
                 out = block(x)
-            assert not backend._folded
+            assert not len(_conv_fold_cache())
             reference = reference_block(x)
         assert np.array_equal(out, reference)
 
@@ -266,7 +281,7 @@ class TestFoldedConvBN:
         with nn.use_backend(backend):
             with no_grad():
                 block(x)
-        assert not backend._folded
+        assert not len(_conv_fold_cache())
         assert len(seen) == 1  # the conv output materialized for the hook
 
     def test_numpy_backend_never_folds(self):
@@ -278,16 +293,16 @@ class TestFoldedConvBN:
                 out = block(x)
         assert np.array_equal(out, reference)
 
-    def test_clear_folded_drops_cache(self):
+    def test_pipeline_clear_caches_drops_fold(self):
         x = _x((4, 3, 10, 10), seed=9)
         block = self._block()
         backend = FusedBackend()
         with nn.use_backend(backend):
             with no_grad():
                 block(x)
-            assert backend._folded
-            backend.clear_folded()
-            assert not backend._folded
+            assert len(_conv_fold_cache())
+            default_pipeline().clear_caches()
+            assert not len(_conv_fold_cache())
 
 
 class TestParameterVersions:

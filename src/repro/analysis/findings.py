@@ -1,0 +1,34 @@
+"""The shared finding record every analysis pass emits.
+
+One schema serves the AST linter, the static shape checker and the CLI:
+``(file, line, rule, message)``.  ``file`` is a repo-relative POSIX
+path so findings are stable across machines, which is what lets the
+committed baseline grandfather a finding without pinning it to a line
+number (lines drift on every unrelated edit; file+rule+message do not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis finding, machine-readable and baseline-able."""
+
+    file: str
+    line: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching — deliberately excludes
+        the line number so grandfathered findings survive edits
+        elsewhere in the file."""
+        return (self.file, self.rule, self.message)
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"

@@ -1,0 +1,417 @@
+"""The built-in invariant rules.
+
+Each rule encodes one convention a past PR made correctness depend on;
+the table in DESIGN.md ("Static analysis & enforced invariants") maps
+every rule back to the PR that introduced its invariant and the bug
+class it prevents.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..findings import Finding
+from . import FileContext, Rule, register_rule
+
+_NUMPY_NAMES = {"np", "numpy"}
+
+#: The hot contraction entry points that must go through the backend.
+_DISPATCHED_OPS = {"matmul", "einsum", "tensordot", "dot", "inner", "vdot"}
+
+#: ``np.random`` members that construct independent generators (fine)
+#: as opposed to drawing from the shared global stream (the PR-2 bug).
+_RNG_CONSTRUCTORS = {
+    "default_rng",
+    "SeedSequence",
+    "Generator",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+
+def _is_numpy_attr(node: ast.AST, attrs: set[str]) -> Optional[str]:
+    """``np.<attr>`` / ``numpy.<attr>`` with attr in ``attrs``, or None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr in attrs
+        and isinstance(node.value, ast.Name)
+        and node.value.id in _NUMPY_NAMES
+    ):
+        return node.attr
+    return None
+
+
+def _walk_skipping_functions(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function/class
+    definitions (those are visited as their own units)."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            stack.append(child)
+
+
+def _functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class BackendDispatchRule(Rule):
+    """Hot tensor contractions in layer-level code must dispatch through
+    ``current_backend()`` (PR 3) — a direct ``np.matmul`` silently runs
+    on the wrong substrate when a phase/engine backend override is
+    active, and never benefits from fused/native kernels."""
+
+    name = "backend-dispatch"
+    description = (
+        "no direct np.matmul/einsum/tensordot/@ on hot paths; "
+        "route through current_backend()"
+    )
+    scope = (
+        "src/repro/nn/layers/",
+        "src/repro/nn/functional.py",
+        "src/repro/nn/passes/",
+    )
+
+    def visit(self, tree: ast.AST, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(tree):
+            op: Optional[str] = None
+            if isinstance(node, ast.Call):
+                name = _is_numpy_attr(node.func, _DISPATCHED_OPS)
+                if name:
+                    op = f"np.{name}()"
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+                op = "the @ matmul operator"
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, ast.MatMult
+            ):
+                op = "the @= matmul operator"
+            if op:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        f"direct use of {op} in backend-scoped code; "
+                        "dispatch through current_backend() so phase/engine "
+                        "backend overrides apply (DESIGN.md §7)",
+                    )
+                )
+        return findings
+
+
+class CacheNamingRule(Rule):
+    """Forward state consumed by backward must be ``_cache*``-prefixed or
+    listed in ``_extra_cache_attrs`` (PR 3/4) — anything else is invisible
+    to ``Module.clear_caches()`` and stays pinned between batches."""
+
+    name = "cache-naming"
+    description = (
+        "attrs written in forward() and read in backward() must be "
+        "_cache*-prefixed or declared in _extra_cache_attrs"
+    )
+    scope = ("src/",)
+
+    _FORWARD = ("forward", "attend")
+    _BACKWARD = ("backward", "backward_attend")
+
+    @classmethod
+    def _is_forward(cls, name: str) -> bool:
+        return name in cls._FORWARD or name.startswith("_forward")
+
+    @classmethod
+    def _is_backward(cls, name: str) -> bool:
+        return name in cls._BACKWARD or name.startswith("_backward")
+
+    @staticmethod
+    def _extra_cache_attrs(cls_node: ast.ClassDef) -> set[str]:
+        declared: set[str] = set()
+        for stmt in cls_node.body:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "_extra_cache_attrs"
+                    and isinstance(value, (ast.Tuple, ast.List))
+                ):
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            declared.add(element.value)
+        return declared
+
+    @staticmethod
+    def _self_attr_stores(fn: ast.FunctionDef) -> dict[str, int]:
+        stores: dict[str, int] = {}
+        for node in _walk_skipping_functions(fn.body):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Store)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                stores.setdefault(node.attr, node.lineno)
+        return stores
+
+    @staticmethod
+    def _self_attr_loads(fn: ast.FunctionDef) -> set[str]:
+        loads: set[str] = set()
+        for node in _walk_skipping_functions(fn.body):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                loads.add(node.attr)
+        return loads
+
+    def visit(self, tree: ast.AST, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for cls_node in ast.walk(tree):
+            if not isinstance(cls_node, ast.ClassDef):
+                continue
+            extra = self._extra_cache_attrs(cls_node)
+            stores: dict[str, int] = {}
+            loads: set[str] = set()
+            for stmt in cls_node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if self._is_forward(stmt.name):
+                    for attr, line in self._self_attr_stores(stmt).items():
+                        stores.setdefault(attr, line)
+                elif self._is_backward(stmt.name):
+                    loads |= self._self_attr_loads(stmt)
+            for attr in sorted(stores.keys() & loads):
+                if attr.startswith("_cache") or attr in extra:
+                    continue
+                line = stores[attr]
+                findings.append(
+                    Finding(
+                        file=ctx.path,
+                        line=line,
+                        rule=self.name,
+                        message=(
+                            f"{cls_node.name}.{attr} is written in a forward "
+                            "method and read in backward, but is neither "
+                            "'_cache*'-prefixed nor declared in "
+                            "_extra_cache_attrs — Module.clear_caches() will "
+                            "never release it (DESIGN.md §8)"
+                        ),
+                    )
+                )
+        return findings
+
+
+class VersionBumpRule(Rule):
+    """Every ``<param>.data`` mutation must be followed by
+    ``<param>.bump_version()`` in the same function (PR 4/6) — otherwise
+    the fold-pass cache serves stale folded conv+BN weights."""
+
+    name = "version-bump"
+    description = (
+        "mutating <param>.data requires <param>.bump_version() in the "
+        "same function"
+    )
+    scope = ("src/",)
+
+    @staticmethod
+    def _data_base(target: ast.expr) -> Optional[ast.expr]:
+        """The ``<param>`` expression of a ``<param>.data`` (or
+        ``<param>.data[...]``) store target, or None."""
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute) and target.attr == "data":
+            return target.value
+        return None
+
+    def visit(self, tree: ast.AST, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for fn in _functions(tree):
+            # Construction is not mutation: Parameter.__init__ sets
+            # self.data without a version history to invalidate.
+            if fn.name == "__init__":
+                continue
+            mutations: list[tuple[ast.AST, ast.expr]] = []
+            bumps: list[tuple[int, str]] = []
+            for node in _walk_skipping_functions(fn.body):
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                else:
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "bump_version"
+                    ):
+                        bumps.append(
+                            (node.lineno, ast.dump(node.func.value))
+                        )
+                    continue
+                for target in targets:
+                    base = self._data_base(target)
+                    if base is not None:
+                        mutations.append((node, base))
+            for node, base in mutations:
+                key = ast.dump(base)
+                covered = any(
+                    line >= node.lineno and bumped == key
+                    for line, bumped in bumps
+                )
+                if not covered:
+                    owner = ast.unparse(base)
+                    findings.append(
+                        ctx.finding(
+                            self,
+                            node,
+                            f"{owner}.data is mutated without a following "
+                            f"{owner}.bump_version() in {fn.name}(); stale "
+                            "Parameter versions serve stale folded weights "
+                            "from the fold-pass cache (DESIGN.md §10)",
+                        )
+                    )
+        return findings
+
+
+class RngDisciplineRule(Rule):
+    """No draws from numpy's shared global rng (PR 2) — module-level
+    ``np.random.<fn>`` calls collide seeds across layers/workers;
+    generators must come from ``nn.init.layer_rng`` or a spawned
+    ``SeedSequence``."""
+
+    name = "rng-discipline"
+    description = (
+        "no np.random.<fn> global-state calls; spawn generators from "
+        "SeedSequence/layer_rng"
+    )
+    scope = ("src/",)
+
+    def visit(self, tree: ast.AST, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr not in _RNG_CONSTRUCTORS
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "random"
+                    and isinstance(func.value.value, ast.Name)
+                    and func.value.value.id in _NUMPY_NAMES
+                ):
+                    findings.append(
+                        ctx.finding(
+                            self,
+                            node,
+                            f"np.random.{func.attr}() draws from numpy's "
+                            "process-global rng — the PR-2 seed-collision "
+                            "bug class; use nn.init.layer_rng or spawn from "
+                            "a SeedSequence (DESIGN.md §5)",
+                        )
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in _RNG_CONSTRUCTORS:
+                            findings.append(
+                                ctx.finding(
+                                    self,
+                                    node,
+                                    f"importing numpy.random.{alias.name} "
+                                    "exposes the process-global rng; spawn "
+                                    "generators from SeedSequence/layer_rng "
+                                    "instead (DESIGN.md §5)",
+                                )
+                            )
+        return findings
+
+
+class NoGradPurityRule(Rule):
+    """Code lexically under ``with no_grad():`` must not populate
+    ``_cache*`` attributes (PR 4) — forward-only streams are
+    allocation-free precisely because nothing retains backward state;
+    a real cache written there pins memory *and* lets a later
+    ``backward()`` silently consume stale data."""
+
+    name = "no-grad-purity"
+    description = "no _cache* attribute assignment under no_grad()"
+    scope = ("src/",)
+
+    @staticmethod
+    def _is_no_grad_with(node: ast.With) -> bool:
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                func = expr.func
+                if isinstance(func, ast.Name) and func.id == "no_grad":
+                    return True
+                if isinstance(func, ast.Attribute) and func.attr == "no_grad":
+                    return True
+        return False
+
+    @staticmethod
+    def _is_sentinel(value: ast.expr) -> bool:
+        return (isinstance(value, ast.Name) and value.id == "NO_GRAD") or (
+            isinstance(value, ast.Attribute) and value.attr == "NO_GRAD"
+        )
+
+    def visit(self, tree: ast.AST, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.With) or not self._is_no_grad_with(node):
+                continue
+            for stmt in _walk_skipping_functions(node.body):
+                if isinstance(stmt, ast.Assign):
+                    targets, value = stmt.targets, stmt.value
+                elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                    targets, value = [stmt.target], stmt.value
+                else:
+                    continue
+                if value is not None and self._is_sentinel(value):
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and target.attr.startswith(
+                        "_cache"
+                    ):
+                        findings.append(
+                            ctx.finding(
+                                self,
+                                stmt,
+                                f"assignment to {ast.unparse(target)} inside "
+                                "a no_grad() block: forward-only streams "
+                                "must stay cache-free (assign the NO_GRAD "
+                                "sentinel instead, DESIGN.md §8)",
+                            )
+                        )
+        return findings
+
+
+for _rule in (
+    BackendDispatchRule(),
+    CacheNamingRule(),
+    VersionBumpRule(),
+    RngDisciplineRule(),
+    NoGradPurityRule(),
+):
+    register_rule(_rule)

@@ -274,6 +274,8 @@ def inception_v4_spec(input_size: int = 299, num_classes: int = 1000) -> ModelSp
         in_shape = (builder.channels, builder.height, builder.width)
         builder.conv(192, 3, stride=2, name="stem.mixed5a.conv")
         out_h, out_w = builder.height, builder.width
+        builder.set_shape(*in_shape)
+        builder.pool(3, 2)
         builder.set_shape(192 + in_shape[0], out_h, out_w)
     else:
         builder.conv(32, 3, padding=1, name="stem.conv0")

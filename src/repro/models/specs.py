@@ -49,6 +49,8 @@ class LayerSpec:
     out_w: int = 1
     # Rectangular kernels (Inception 1x7 / 7x1): 0 means "= kernel_size".
     kernel_w: int = 0
+    # Rectangular padding: -1 means "= padding".
+    padding_w: int = -1
 
     # ------------------------------------------------------------------
     @property
@@ -58,6 +60,10 @@ class LayerSpec:
     @property
     def kernel_w_eff(self) -> int:
         return self.kernel_w if self.kernel_w else self.kernel_size
+
+    @property
+    def padding_w_eff(self) -> int:
+        return self.padding_w if self.padding_w >= 0 else self.padding
 
     @property
     def kernel_area(self) -> int:
@@ -227,6 +233,7 @@ class SpecBuilder:
                 out_h=out_h,
                 out_w=out_w,
                 kernel_w=kernel_w,
+                padding_w=-1 if padding_w is None else padding_w,
             )
         )
         self.channels, self.height, self.width = out_channels, out_h, out_w

@@ -55,6 +55,16 @@ _BASE_FLAGS = [
     "-std=c99",
 ]
 
+# ``REPRO_NATIVE_SANITIZE=1`` builds an ASan/UBSan-instrumented variant
+# with its own artifact tag.  Loading it into a non-instrumented Python
+# needs the ASan runtime preloaded, e.g.:
+#   LD_PRELOAD=$(gcc -print-file-name=libasan.so) ASAN_OPTIONS=detect_leaks=0
+# (CPython itself "leaks" interned objects at exit; leak detection off.)
+_SANITIZE_FLAGS = [
+    "-fsanitize=address,undefined",
+    "-fno-omit-frame-pointer",
+]
+
 
 class NativeBuildError(RuntimeError):
     """The native extension could not be built or loaded."""
@@ -62,6 +72,11 @@ class NativeBuildError(RuntimeError):
 
 def _disabled() -> bool:
     return os.environ.get("REPRO_NATIVE", "1") == "0"
+
+
+def sanitize_enabled() -> bool:
+    """Whether ``REPRO_NATIVE_SANITIZE=1`` selects the ASan/UBSan build."""
+    return os.environ.get("REPRO_NATIVE_SANITIZE", "0") == "1"
 
 
 def find_compiler() -> Optional[str]:
@@ -76,28 +91,33 @@ def find_compiler() -> Optional[str]:
     return None
 
 
-def _command(cc: str, openmp: bool) -> list[str]:
+def _command(cc: str, openmp: bool, sanitize: bool = False) -> list[str]:
     flags = list(_BASE_FLAGS)
+    if sanitize:
+        flags.extend(_SANITIZE_FLAGS)
     if openmp:
         flags.append("-fopenmp")
     return [cc, *flags]
 
 
-def source_hash(cc: str, openmp: bool) -> str:
+def source_hash(cc: str, openmp: bool, sanitize: bool = False) -> str:
     """Digest of the kernel source + full compiler command line."""
     digest = hashlib.sha256()
     digest.update(SOURCE.read_bytes())
-    digest.update(" ".join(_command(cc, openmp)).encode())
+    digest.update(" ".join(_command(cc, openmp, sanitize)).encode())
     digest.update(BUILD_TAG.encode())
     return digest.hexdigest()[:16]
 
 
-def lib_path(cc: str, openmp: bool) -> Path:
-    return BUILD_DIR / f"kernels-{source_hash(cc, openmp)}.so"
+def lib_path(cc: str, openmp: bool, sanitize: bool = False) -> Path:
+    # The -san suffix is cosmetic (the hash already covers the flags)
+    # but keeps instrumented artifacts recognisable in the build dir.
+    suffix = "-san" if sanitize else ""
+    return BUILD_DIR / f"kernels-{source_hash(cc, openmp, sanitize)}{suffix}.so"
 
 
-def _compile(cc: str, openmp: bool) -> Path:
-    out = lib_path(cc, openmp)
+def _compile(cc: str, openmp: bool, sanitize: bool = False) -> Path:
+    out = lib_path(cc, openmp, sanitize)
     if out.exists():
         return out
     BUILD_DIR.mkdir(parents=True, exist_ok=True)
@@ -108,7 +128,7 @@ def _compile(cc: str, openmp: bool) -> Path:
     os.close(fd)
     try:
         proc = subprocess.run(
-            [*_command(cc, openmp), "-o", tmp, str(SOURCE)],
+            [*_command(cc, openmp, sanitize), "-o", tmp, str(SOURCE)],
             capture_output=True,
             text=True,
         )
@@ -123,13 +143,14 @@ def _compile(cc: str, openmp: bool) -> Path:
     return out
 
 
-def build(force: bool = False) -> Path:
+def build(force: bool = False, sanitize: Optional[bool] = None) -> Path:
     """Compile the kernels (cached on source hash); return the .so path.
 
     Probes ``-fopenmp`` first and falls back to a single-threaded build
-    when the toolchain rejects it.  Raises :class:`NativeBuildError`
-    when disabled via ``REPRO_NATIVE=0``, no compiler is found, or both
-    compiles fail.
+    when the toolchain rejects it.  ``sanitize`` defaults to
+    ``REPRO_NATIVE_SANITIZE=1`` and selects the ASan/UBSan variant.
+    Raises :class:`NativeBuildError` when disabled via
+    ``REPRO_NATIVE=0``, no compiler is found, or both compiles fail.
     """
     if _disabled():
         raise NativeBuildError("native backend disabled via REPRO_NATIVE=0")
@@ -140,13 +161,15 @@ def build(force: bool = False) -> Path:
         raise NativeBuildError(
             "no C compiler found (set $CC or install gcc/clang)"
         )
+    if sanitize is None:
+        sanitize = sanitize_enabled()
     if force:
         for stale in BUILD_DIR.glob("kernels-*.so"):
             stale.unlink(missing_ok=True)
     try:
-        return _compile(cc, openmp=True)
+        return _compile(cc, openmp=True, sanitize=sanitize)
     except NativeBuildError:
-        return _compile(cc, openmp=False)
+        return _compile(cc, openmp=False, sanitize=sanitize)
 
 
 _I64 = ctypes.c_int64
@@ -173,15 +196,19 @@ def _configure(lib: ctypes.CDLL) -> ctypes.CDLL:
     return lib
 
 
-_LIB: Optional[ctypes.CDLL] = None
+# One loaded library per build variant (plain / sanitized).
+_LIBS: dict[bool, ctypes.CDLL] = {}
 
 
-def load(force: bool = False) -> ctypes.CDLL:
-    """Build if needed and load the shared library (process singleton)."""
-    global _LIB
-    if _LIB is None or force:
-        _LIB = _configure(ctypes.CDLL(str(build(force=force))))
-    return _LIB
+def load(force: bool = False, sanitize: Optional[bool] = None) -> ctypes.CDLL:
+    """Build if needed and load the shared library (per-variant singleton)."""
+    if sanitize is None:
+        sanitize = sanitize_enabled()
+    if force or sanitize not in _LIBS:
+        _LIBS[sanitize] = _configure(
+            ctypes.CDLL(str(build(force=force, sanitize=sanitize)))
+        )
+    return _LIBS[sanitize]
 
 
 def available() -> bool:
@@ -199,8 +226,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     """CLI: build the extension, print the artifact path."""
     args = sys.argv[1:] if argv is None else argv
     force = "--force" in args
+    sanitize = True if "--sanitize" in args else None
     try:
-        path = build(force=force)
+        path = build(force=force, sanitize=sanitize)
     except NativeBuildError as exc:
         print(f"native build failed: {exc}", file=sys.stderr)
         return 1

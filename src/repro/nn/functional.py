@@ -243,12 +243,16 @@ def adaptive_avg_pool2d_backward(
         indicator = np.zeros((out_h, height), dtype=grad_out.dtype)
         for i, (r0, r1) in enumerate(rows):
             indicator[i, r0:r1] = 1.0
-        expanded = np.matmul(indicator.T, scaled.reshape(-1, out_h, out_w)).reshape(
-            grad_out.shape[0], grad_out.shape[1], height, out_w
-        )
+        # Reference substrate beneath dispatch: Backend.adaptive_avg_pool2d
+        # defaults to these functions, so routing this matmul back through
+        # current_backend() would recurse.
+        expanded = np.matmul(  # repro: noqa[backend-dispatch]
+            indicator.T, scaled.reshape(-1, out_h, out_w)
+        ).reshape(grad_out.shape[0], grad_out.shape[1], height, out_w)
     if _splits_tile(col_starts, col_ends, width):
         return np.repeat(expanded, col_lens, axis=3)
     indicator = np.zeros((out_w, width), dtype=grad_out.dtype)
     for j, (c0, c1) in enumerate(cols):
         indicator[j, c0:c1] = 1.0
-    return np.matmul(expanded, indicator)
+    # Same reference-substrate exemption as the row matmul above.
+    return np.matmul(expanded, indicator)  # repro: noqa[backend-dispatch]

@@ -1,0 +1,299 @@
+"""Fixture tests for the invariant linter: each rule must flag its
+known-bad snippet and stay quiet on the known-good one, and the
+suppression + baseline machinery must round-trip."""
+
+import json
+
+import pytest
+
+from repro.analysis.lint import (
+    all_rules,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+
+LAYER_PATH = "src/repro/nn/layers/custom.py"
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# ----------------------------------------------------------------------
+# backend-dispatch
+# ----------------------------------------------------------------------
+BAD_DISPATCH = """
+import numpy as np
+
+def forward(x, w):
+    a = np.matmul(x, w)
+    b = np.einsum("ij,jk->ik", x, w)
+    c = x @ w
+    a @= w
+    d = np.tensordot(x, w, axes=1)
+    return a + b + c + d
+"""
+
+GOOD_DISPATCH = """
+from repro.nn.backend import current_backend
+
+def forward(x, w):
+    return current_backend().matmul(x, w)
+"""
+
+
+class TestBackendDispatch:
+    def test_flags_direct_contractions(self):
+        findings = lint_source(BAD_DISPATCH, LAYER_PATH, rules=["backend-dispatch"])
+        assert len(findings) == 5
+        assert rules_of(findings) == {"backend-dispatch"}
+
+    def test_quiet_on_dispatched_code(self):
+        assert not lint_source(GOOD_DISPATCH, LAYER_PATH, rules=["backend-dispatch"])
+
+    def test_out_of_scope_file_is_ignored(self):
+        assert not lint_source(
+            BAD_DISPATCH, "src/repro/accel/cost.py", rules=["backend-dispatch"]
+        )
+
+    def test_backends_themselves_are_exempt(self):
+        # The dispatch targets legitimately call numpy directly.
+        assert not lint_source(
+            BAD_DISPATCH, "src/repro/nn/backend/fused.py", rules=["backend-dispatch"]
+        )
+
+
+# ----------------------------------------------------------------------
+# cache-naming
+# ----------------------------------------------------------------------
+BAD_CACHE = """
+class Layer:
+    def forward(self, x):
+        self.saved = x
+        return x
+
+    def backward(self, grad):
+        return grad * self.saved
+"""
+
+GOOD_CACHE = """
+class Layer:
+    _extra_cache_attrs = ("_mask",)
+
+    def forward(self, x):
+        self._cache_x = x
+        self._mask = x > 0
+        return x
+
+    def backward(self, grad):
+        return grad * self._cache_x * self._mask
+"""
+
+ATTEND_CACHE = """
+class Attention:
+    def attend(self, q, k, v):
+        self.scores = q
+        return q
+
+    def backward_attend(self, grad):
+        return grad * self.scores
+"""
+
+
+class TestCacheNaming:
+    def test_flags_unprefixed_forward_cache(self):
+        findings = lint_source(BAD_CACHE, LAYER_PATH, rules=["cache-naming"])
+        assert len(findings) == 1
+        assert "saved" in findings[0].message
+
+    def test_quiet_on_prefixed_and_declared(self):
+        assert not lint_source(GOOD_CACHE, LAYER_PATH, rules=["cache-naming"])
+
+    def test_attend_counts_as_forward(self):
+        findings = lint_source(ATTEND_CACHE, LAYER_PATH, rules=["cache-naming"])
+        assert len(findings) == 1
+        assert "scores" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# version-bump
+# ----------------------------------------------------------------------
+BAD_BUMP = """
+def step(param, update):
+    param.data -= update
+"""
+
+GOOD_BUMP = """
+def step(param, update):
+    param.data -= update
+    param.bump_version()
+"""
+
+MIXED_BUMP = """
+def step(a, b, update):
+    a.data -= update
+    b.data -= update
+    a.bump_version()
+"""
+
+
+class TestVersionBump:
+    def test_flags_unbumped_mutation(self):
+        findings = lint_source(BAD_BUMP, "src/repro/nn/optim/x.py", rules=["version-bump"])
+        assert len(findings) == 1
+        assert "bump_version" in findings[0].message
+
+    def test_quiet_when_bumped(self):
+        assert not lint_source(
+            GOOD_BUMP, "src/repro/nn/optim/x.py", rules=["version-bump"]
+        )
+
+    def test_bump_must_match_object(self):
+        findings = lint_source(
+            MIXED_BUMP, "src/repro/nn/optim/x.py", rules=["version-bump"]
+        )
+        assert len(findings) == 1
+        assert "b.data" in findings[0].message
+
+    def test_init_constructors_are_exempt(self):
+        source = """
+class Parameter:
+    def __init__(self, data):
+        self.data = data
+"""
+        assert not lint_source(source, "src/repro/nn/x.py", rules=["version-bump"])
+
+
+# ----------------------------------------------------------------------
+# rng-discipline
+# ----------------------------------------------------------------------
+BAD_RNG = """
+import numpy as np
+
+def init(shape):
+    return np.random.randn(*shape)
+"""
+
+GOOD_RNG = """
+import numpy as np
+
+def init(shape, rng):
+    seq = np.random.SeedSequence(0)
+    gen = np.random.default_rng(seq)
+    return gen.standard_normal(shape)
+"""
+
+
+class TestRngDiscipline:
+    def test_flags_global_rng_draw(self):
+        findings = lint_source(BAD_RNG, "src/repro/data/x.py", rules=["rng-discipline"])
+        assert len(findings) == 1
+        assert "np.random.randn" in findings[0].message
+
+    def test_quiet_on_seedsequence_generators(self):
+        assert not lint_source(GOOD_RNG, "src/repro/data/x.py", rules=["rng-discipline"])
+
+    def test_flags_disallowed_import(self):
+        source = "from numpy.random import randn\n"
+        findings = lint_source(source, "src/repro/data/x.py", rules=["rng-discipline"])
+        assert len(findings) == 1
+
+
+# ----------------------------------------------------------------------
+# no-grad-purity
+# ----------------------------------------------------------------------
+BAD_PURITY = """
+def run(model, x, no_grad):
+    with no_grad():
+        model._cache_x = x
+    return x
+"""
+
+GOOD_PURITY = """
+NO_GRAD = object()
+
+def run(model, x, no_grad):
+    with no_grad():
+        model._cache_x = NO_GRAD
+        model.count = 1
+    return x
+"""
+
+
+class TestNoGradPurity:
+    def test_flags_cache_write_under_no_grad(self):
+        findings = lint_source(BAD_PURITY, LAYER_PATH, rules=["no-grad-purity"])
+        assert len(findings) == 1
+        assert "_cache_x" in findings[0].message
+
+    def test_sentinel_assignment_is_allowed(self):
+        assert not lint_source(GOOD_PURITY, LAYER_PATH, rules=["no-grad-purity"])
+
+
+# ----------------------------------------------------------------------
+# framework: suppression, baseline, scope, registry
+# ----------------------------------------------------------------------
+class TestFramework:
+    def test_all_five_rules_registered(self):
+        names = {rule.name for rule in all_rules()}
+        assert names >= {
+            "backend-dispatch",
+            "cache-naming",
+            "version-bump",
+            "rng-discipline",
+            "no-grad-purity",
+        }
+
+    def test_line_suppression(self):
+        source = (
+            "import numpy as np\n"
+            "def f(x, w):\n"
+            "    return np.matmul(x, w)  # repro: noqa[backend-dispatch]\n"
+        )
+        assert not lint_source(source, LAYER_PATH, rules=["backend-dispatch"])
+
+    def test_file_suppression(self):
+        source = "# repro: noqa-file[backend-dispatch]\n" + BAD_DISPATCH
+        assert not lint_source(source, LAYER_PATH, rules=["backend-dispatch"])
+
+    def test_bare_noqa_suppresses_all_rules(self):
+        source = (
+            "import numpy as np\n"
+            "def f(x, w):\n"
+            "    return np.matmul(x, w)  # repro: noqa\n"
+        )
+        assert not lint_source(source, LAYER_PATH)
+
+    def test_unknown_rule_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint rule"):
+            lint_source("x = 1\n", LAYER_PATH, rules=["no-such-rule"])
+
+    def test_syntax_error_is_a_finding(self):
+        findings = lint_source("def f(:\n", LAYER_PATH)
+        assert [f.rule for f in findings] == ["syntax-error"]
+
+    def test_baseline_round_trip(self, tmp_path):
+        findings = lint_source(BAD_BUMP, "src/repro/nn/optim/x.py", rules=["version-bump"])
+        assert findings
+        path = write_baseline(findings, tmp_path / "baseline.json")
+        baseline = load_baseline(path)
+        new, old = split_baselined(findings, baseline)
+        assert not new and old == findings
+        # Baseline entries are line-free so they survive unrelated edits.
+        data = json.loads(path.read_text())
+        assert all("line" not in entry for entry in data["findings"])
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_repo_is_clean(self):
+        """The enforced contract: src/ has no non-baselined findings."""
+        import repro
+
+        root = __import__("pathlib").Path(repro.__file__).resolve().parents[2]
+        findings = lint_paths(root)
+        new, _ = split_baselined(findings, load_baseline())
+        assert not new, "\n".join(f.render() for f in new)

@@ -1,0 +1,47 @@
+"""The sanitizer build variant: distinct flags, hash and artifact path.
+
+These are pure command-line/hash tests — no compiler needed — plus one
+compile test gated on a toolchain being present.
+"""
+
+import pytest
+
+from repro.nn.backend import native_build as nb
+
+
+def test_sanitize_flags_in_command():
+    cmd = nb._command("gcc", openmp=False, sanitize=True)
+    assert "-fsanitize=address,undefined" in cmd
+    assert "-fno-omit-frame-pointer" in cmd
+    plain = nb._command("gcc", openmp=False, sanitize=False)
+    assert "-fsanitize=address,undefined" not in plain
+
+
+def test_sanitize_variant_has_distinct_hash_and_path():
+    plain = nb.source_hash("gcc", openmp=True, sanitize=False)
+    san = nb.source_hash("gcc", openmp=True, sanitize=True)
+    assert plain != san
+    plain_path = nb.lib_path("gcc", openmp=True, sanitize=False)
+    san_path = nb.lib_path("gcc", openmp=True, sanitize=True)
+    assert plain_path != san_path
+    assert san_path.name.endswith("-san.so")
+    assert not plain_path.name.endswith("-san.so")
+
+
+def test_sanitize_env_toggle(monkeypatch):
+    monkeypatch.delenv("REPRO_NATIVE_SANITIZE", raising=False)
+    assert not nb.sanitize_enabled()
+    monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "1")
+    assert nb.sanitize_enabled()
+
+
+def test_sanitize_build_compiles():
+    if nb.find_compiler() is None or nb._disabled():
+        pytest.skip("no C compiler available")
+    path = nb.build(sanitize=True)
+    assert path.exists()
+    assert path.name.endswith("-san.so")
+    # The plain variant is a different artifact; building one never
+    # clobbers the other.
+    plain = nb.build(sanitize=False)
+    assert plain != path

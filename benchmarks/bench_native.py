@@ -104,7 +104,6 @@ def test_bench_native_conv_gate(benchmark):
         "conv_gate",
         {
             "shape": "x(16,32,16,16) w(32,32,3,3) pad1",
-            "cores": cores,
             "fused_ms": fused_s * 1e3,
             "native_ms": native_s * 1e3,
             "speedup": speedup,
@@ -242,7 +241,6 @@ def test_bench_native_model_step(benchmark):
         {
             "model": "ResNet50-mini",
             "batch": 16,
-            "cores": os.cpu_count() or 1,
             "fused_step_ms": fused_s * 1e3,
             "native_step_ms": native_s * 1e3,
             "speedup": speedup,

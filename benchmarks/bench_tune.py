@@ -78,8 +78,6 @@ def test_bench_parallel_runner_gate(benchmark):
         {
             "model": "VGG13-mini",
             "num_trials": NUM_TRIALS,
-            "workers": WORKERS,
-            "cores": cores,
             "serial_s": times["serial"],
             "parallel_s": times["parallel"],
             "serial_trials_per_s": NUM_TRIALS / times["serial"],
@@ -88,6 +86,7 @@ def test_bench_parallel_runner_gate(benchmark):
             "gate": MIN_PARALLEL_SPEEDUP,
             "gate_enforced": cores >= WORKERS,
         },
+        workers=WORKERS,
     )
     print(
         f"\n{NUM_TRIALS}-trial search: serial {times['serial']:.2f} s, "

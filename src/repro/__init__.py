@@ -25,9 +25,14 @@ Package map
                       spaces, trial runner (process pool + resume
                       journal), successive halving, Pareto frontier of
                       accuracy vs. GP share / cycle-model speedup.
+``repro.dist``        Data-parallel training: swappable transports
+                      (in-process / multiprocessing), gradient codecs
+                      (identity, AdaComp adaptive residual
+                      compression), and the ``ddp_engine`` factory —
+                      GP phases ship zero gradient bytes.
 """
 
-from . import accel, core, data, experiments, models, nn, pipeline, tune
+from . import accel, core, data, dist, experiments, models, nn, pipeline, tune
 from .accel import AcceleratorConfig, AcceleratorModel, AdaGPDesign, DataflowKind
 from .core import (
     AdaGPTrainer,
@@ -42,6 +47,7 @@ from .core import (
     bp_engine,
     dni_engine,
 )
+from .dist import ddp_engine
 from .models import build_mini, spec_for
 from .pipeline import PipelineConfig, PipelineKind, pipeline_speedup
 
@@ -51,6 +57,7 @@ __all__ = [
     "accel",
     "core",
     "data",
+    "dist",
     "experiments",
     "models",
     "nn",
@@ -70,6 +77,7 @@ __all__ = [
     "TrainingEngine",
     "bp_engine",
     "adagp_engine",
+    "ddp_engine",
     "dni_engine",
     "build_mini",
     "spec_for",

@@ -11,7 +11,12 @@ the AST and emits :class:`~repro.analysis.findings.Finding` records.
 Mechanics:
 
 * **Rules** implement ``visit(tree, ctx) -> [Finding]`` and declare a
-  path ``scope`` (repo-relative prefixes) they apply to.
+  path ``scope`` (repo-relative prefixes) they apply to.  Every rule
+  scoped ``("src/",)`` — cache-naming, version-bump, rng-discipline,
+  no-grad-purity — covers the whole ``src/repro`` tree, so subsystems
+  added later (``repro.tune``, ``repro.dist``) are linted by
+  construction, with no per-package opt-in; only backend-dispatch pins
+  explicit hot-path prefixes.
 * **Suppression**: append ``# repro: noqa[rule-name]`` (or a bare
   ``# repro: noqa``) to a flagged line; a standalone
   ``# repro: noqa-file[rule-name]`` line suppresses the rule for the

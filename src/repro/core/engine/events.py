@@ -327,15 +327,31 @@ class ThroughputTimer(Callback):
     gives the software-level counterpart: Phase-GP batches skip the whole
     backward pass, so their measured rate should beat Phase-BP/warm-up
     batches even in NumPy (``benchmarks/bench_engine.py``).
+
+    Under data-parallel training the timer runs on rank 0 (the only
+    rank with a fit loop) and reduces worker counts instead of letting
+    each process report its own wall time: ``batches`` counts *global*
+    batches (one optimizer step each), while ``worker_batches``
+    accumulates ``BatchResult.shard_batches`` — the number of worker
+    shards that batch ran across the world.  ``batches_per_second`` is
+    therefore never inflated by the worker count; the per-shard rate is
+    the separate :meth:`worker_batches_per_second`.  (Before
+    ``shard_batches`` existed, summing per-process timers over-counted
+    multi-worker throughput by the world size.)
     """
 
     def __init__(self) -> None:
         self._start: Optional[float] = None
         self.batches: dict[Phase, int] = {p: 0 for p in Phase}
+        self.worker_batches: dict[Phase, int] = {p: 0 for p in Phase}
         self.seconds: dict[Phase, float] = {p: 0.0 for p in Phase}
 
     def state_dict(self) -> dict:
-        return {"batches": dict(self.batches), "seconds": dict(self.seconds)}
+        return {
+            "batches": dict(self.batches),
+            "worker_batches": dict(self.worker_batches),
+            "seconds": dict(self.seconds),
+        }
 
     def on_batch_begin(self, engine, epoch, batch_index, phase):
         self._start = time.perf_counter()
@@ -346,19 +362,36 @@ class ThroughputTimer(Callback):
         elapsed = time.perf_counter() - self._start
         self._start = None
         self.batches[result.phase] += 1
+        self.worker_batches[result.phase] += getattr(result, "shard_batches", 1)
         self.seconds[result.phase] += elapsed
 
     def batches_per_second(self, phase: Phase) -> float:
+        """Global batches (optimizer steps) per second of rank-0 wall
+        time — the world-size-independent throughput number."""
         if self.seconds[phase] <= 0.0:
             return float("nan")
         return self.batches[phase] / self.seconds[phase]
+
+    def worker_batches_per_second(self, phase: Phase) -> float:
+        """Worker-shard batches per second (rank-0-reduced counts over
+        rank-0 wall time); equals :meth:`batches_per_second` times the
+        active world size under data parallelism."""
+        if self.seconds[phase] <= 0.0:
+            return float("nan")
+        return self.worker_batches[phase] / self.seconds[phase]
 
     def summary(self) -> str:
         parts = []
         for phase in Phase:
             if self.batches[phase]:
-                parts.append(
+                part = (
                     f"{phase.value}: {self.batches_per_second(phase):.2f} batches/s "
                     f"({self.batches[phase]} batches)"
                 )
+                if self.worker_batches[phase] != self.batches[phase]:
+                    part += (
+                        f" [{self.worker_batches[phase]} worker shards, "
+                        f"{self.worker_batches_per_second(phase):.2f}/s]"
+                    )
+                parts.append(part)
         return "throughput — " + ("; ".join(parts) if parts else "no batches")

@@ -52,6 +52,12 @@ class BatchResult:
     phase: Phase
     predictor_mse: Optional[dict[int, float]] = None
     predictor_mape: Optional[dict[int, float]] = None
+    #: How many worker-shard batches this result aggregates.  Serial
+    #: strategies leave it at 1; the data-parallel strategy reports its
+    #: active world size so rank-0 throughput accounting can reduce
+    #: worker batch counts instead of multiply-counting wall time
+    #: (see ``ThroughputTimer``).
+    shard_batches: int = 1
 
 
 class PhaseStrategy:
@@ -116,6 +122,30 @@ class BackpropStrategy(PhaseStrategy):
         self._activations: dict[int, np.ndarray] = {}
 
     def train_batch(self, inputs, targets, phase: Phase) -> BatchResult:
+        result = self.forward_backward(inputs, targets, phase)
+        self.engine.optimizer.step()
+        return result
+
+    def forward_backward(
+        self, inputs, targets, phase: Phase, grad_scale: float = 1.0
+    ) -> BatchResult:
+        """Forward + backward (+ predictor training) without the
+        optimizer step, leaving the batch's gradients in ``param.grad``.
+
+        This is the gradient-computation half of :meth:`train_batch` and
+        the per-rank seam of :class:`repro.dist.DataParallelStrategy`:
+        each data-parallel rank computes its shard's gradients here,
+        scaled by ``grad_scale`` (its shard's fraction of the global
+        batch, so the rank-summed gradient matches full-batch
+        mean-reduction semantics), and the reduced gradient is applied
+        in a separate step.  ``grad_scale=1.0`` skips the scaling
+        entirely, keeping the serial path bitwise unchanged.
+
+        Predictor training (when enabled) runs on the *local* gradients
+        computed here — it touches neither model parameters nor
+        ``param.grad``, so running it before or after the optimizer step
+        is bitwise equivalent.
+        """
         engine = self.engine
         engine.model.train()
         capture = self.train_predictor and engine.predictor is not None
@@ -125,9 +155,10 @@ class BackpropStrategy(PhaseStrategy):
         try:
             outputs = engine.model(inputs)
             loss, grad = engine.loss_fn(outputs, targets)
+            if grad_scale != 1.0:
+                grad = grad * np.float32(grad_scale)
             engine.optimizer.zero_grad()
             engine.model.backward(grad)
-            engine.optimizer.step()
         finally:
             if capture:
                 engine.clear_hooks()

@@ -1,0 +1,453 @@
+"""Data-parallel phase strategy: shard, all-reduce BP, skip comm on GP.
+
+:class:`DataParallelStrategy` wraps an engine's existing per-phase
+strategies (any :class:`~repro.core.engine.strategies.BackpropStrategy`
+family for WARMUP/BP, any GP strategy for Phase GP) and distributes each
+batch over ``workers`` ranks — rank 0 *is* the driver engine; ranks
+``1..W-1`` are replicas behind a :class:`~repro.dist.transport.Transport`.
+
+Per **BP/WARMUP** batch: the batch is cut into contiguous rank-ordered
+shards (their concatenation is the original batch), every active rank
+runs ``forward_backward`` with its shard's loss-gradient scaled by
+``n_r / n`` (so the rank-sum equals full-batch mean-reduction
+semantics), encodes its local gradients with its rank-local codec, and
+the driver gathers all payloads.  *Every* rank then decodes and sums the
+full payload set in rank order (:func:`~repro.dist.codec.decode_sum`),
+installs the identical reduced gradient and steps its own optimizer —
+bitwise lockstep without shipping dense sums.
+
+Per **GP** batch: each rank runs the inner GP strategy on its shard —
+predicted updates come from the rank-local predictor, so *zero gradient
+bytes* cross the wire (ADA-GP's phase structure makes the comm story a
+feature).  ``resync="phase"`` broadcasts rank 0's sync state at each
+phase *boundary* — before the first GP batch after a BP run (replica
+predictors trained on local shards are stale) and before the first BP
+batch after a GP run (locally-predicted updates drifted the replica
+models) — never inside a run, so consecutive GP batches stay strictly
+comm-free.  Boundary syncing makes the whole trajectory a function of
+rank-0 state alone: replica-local drift is always overwritten before it
+can influence an observable result, which is exactly what makes
+checkpoint/resume bitwise reproducible (identity codec) and transports
+interchangeable.
+
+``workers=1`` is pure delegation to the inner strategy — bitwise
+identical to the serial engine, which is the enforceable end of the
+"parallel == serial" contract (sharded float32 GEMMs cannot match
+full-batch ones bitwise; ``W>=2`` vs serial is an allclose property,
+``LocalTransport`` vs ``ProcessTransport`` at any ``W`` is the bitwise
+one).
+
+All communication volume lands in :class:`CommStats` (per-epoch wire
+bytes, dense-equivalent bytes, sync broadcast bytes, measured
+compression ratio).  The stats live on the strategy, not the engine —
+strategies are not checkpointed, so a ddp engine's checkpoint stays
+byte-identical to the serial engine's.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Mapping, Optional, Union
+
+from ..core.engine.strategies import BatchResult, PhaseStrategy
+from ..core.schedule import Phase
+from ..nn.backend import backend_scope
+from .codec import Codec, decode_sum, resolve_codec
+from .transport import Transport, resolve_transport
+from .worker import state_nbytes, sync_state
+
+
+def shard_sizes(n: int, world_size: int) -> list[int]:
+    """Near-equal contiguous shard sizes, biggest-first by rank.
+
+    ``sum == n`` always; ranks beyond ``n`` get empty shards (inactive
+    for that batch).  Rank 0 is never empty while ``n >= 1``, so the
+    driver always has local work.
+    """
+    base, rem = divmod(n, world_size)
+    return [base + (1 if rank < rem else 0) for rank in range(world_size)]
+
+
+class CommStats:
+    """Per-epoch communication accounting for one data-parallel strategy.
+
+    ``grad_wire_bytes`` counts actual gradient payload traffic (worker
+    uplinks plus the apply broadcast fan-out), ``grad_dense_bytes`` the
+    bytes the same traffic would cost uncompressed — their ratio is the
+    *measured* compression ratio, not an estimate.  ``sync_bytes``
+    counts state resync broadcasts separately (identity-codec runs pay
+    sync, not gradient compression).  Input-shard shipping is data-loader
+    traffic, deliberately excluded from gradient accounting.
+    """
+
+    def __init__(self) -> None:
+        self.epochs: dict[int, dict[str, float]] = {}
+
+    def _row(self, epoch: int) -> dict[str, float]:
+        return self.epochs.setdefault(
+            epoch,
+            {
+                "grad_wire_bytes": 0,
+                "grad_dense_bytes": 0,
+                "sync_bytes": 0,
+                "bp_batches": 0,
+                "gp_batches": 0,
+            },
+        )
+
+    def record_grads(self, epoch: int, wire_bytes: int, dense_bytes: int) -> None:
+        row = self._row(epoch)
+        row["grad_wire_bytes"] += wire_bytes
+        row["grad_dense_bytes"] += dense_bytes
+        row["bp_batches"] += 1
+
+    def record_gp(self, epoch: int) -> None:
+        self._row(epoch)["gp_batches"] += 1
+
+    def record_sync(self, epoch: int, nbytes: int) -> None:
+        self._row(epoch)["sync_bytes"] += nbytes
+
+    def totals(self) -> dict[str, float]:
+        """Sum of every epoch row (same keys)."""
+        totals = {
+            "grad_wire_bytes": 0.0,
+            "grad_dense_bytes": 0.0,
+            "sync_bytes": 0.0,
+            "bp_batches": 0.0,
+            "gp_batches": 0.0,
+        }
+        for row in self.epochs.values():
+            for key, value in row.items():
+                totals[key] += value
+        return totals
+
+    def compression_ratio(self, epoch: Optional[int] = None) -> float:
+        """Measured dense/wire ratio for one epoch (or the whole run);
+        NaN before any gradient traffic."""
+        row = self.epochs.get(epoch, self._empty()) if epoch is not None else self.totals()
+        if row["grad_wire_bytes"] <= 0:
+            return float("nan")
+        return row["grad_dense_bytes"] / row["grad_wire_bytes"]
+
+    @staticmethod
+    def _empty() -> dict[str, float]:
+        return {
+            "grad_wire_bytes": 0,
+            "grad_dense_bytes": 0,
+            "sync_bytes": 0,
+            "bp_batches": 0,
+            "gp_batches": 0,
+        }
+
+
+class DataParallelStrategy(PhaseStrategy):
+    """Shard batches over ``workers`` ranks; all-reduce BP, comm-free GP.
+
+    Parameters
+    ----------
+    inner:
+        The serial per-phase strategies to distribute — one strategy or
+        a ``{Phase: strategy}`` mapping (typically the engine's original
+        ``strategies`` dict, taken over by :func:`repro.dist.ddp_engine`).
+    workers:
+        World size including the driver (rank 0).  ``1`` runs no
+        transport at all and delegates every batch bitwise.
+    codec:
+        Gradient codec spec (name or instance) — *rank 0's* instance;
+        replicas spawn their own so residual state stays rank-local.
+    transport:
+        ``"local"`` / ``"process"`` / a started-or-not
+        :class:`~repro.dist.transport.Transport`.
+    resync:
+        ``"phase"`` (default): broadcast rank-0 sync state at phase
+        boundaries (BP→GP: replica predictors went stale training on
+        local shards; GP→BP: replica models drifted under local
+        predicted updates).  ``"never"``: replicas keep their drifted
+        predictors/weights until the next explicit
+        :meth:`invalidate_replicas` — documented-unsafe, for drift
+        experiments.
+    worker_factory:
+        Picklable ``factory(rank) -> DistWorker`` (required when
+        ``workers > 1``); built by :func:`repro.dist.ddp_engine`.
+    """
+
+    def __init__(
+        self,
+        inner: Union[PhaseStrategy, Mapping[Phase, PhaseStrategy]],
+        workers: int = 2,
+        codec: Union[str, Codec, None] = "identity",
+        transport="local",
+        resync: str = "phase",
+        worker_factory=None,
+        backend=None,
+    ) -> None:
+        super().__init__(backend=backend)
+        if isinstance(inner, PhaseStrategy):
+            inner = {phase: inner for phase in Phase}
+        self.inner: dict[Phase, PhaseStrategy] = dict(inner)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if resync not in ("phase", "never"):
+            raise ValueError(f"resync must be 'phase' or 'never', got {resync!r}")
+        self.workers = int(workers)
+        self.codec = resolve_codec(codec)
+        self.resync = resync
+        self.worker_factory = worker_factory
+        self._transport_spec = transport
+        self.transport: Optional[Transport] = None
+        self.comm = CommStats()
+        self._need_sync = True
+        # Replica models drifted under local GP updates (GP→BP resync).
+        self._drifted = False
+        # Replica predictors trained on local shards during a BP run
+        # (BP→GP resync); never set when the engine has no predictor.
+        self._predictor_stale = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def bind(self, engine) -> None:
+        super().bind(engine)
+        for strategy in {id(s): s for s in self.inner.values()}.values():
+            strategy.bind(engine)
+        if self.workers > 1 and self.transport is None:
+            if self.worker_factory is None:
+                raise ValueError(
+                    "DataParallelStrategy(workers > 1) needs a worker_factory "
+                    "(use repro.dist.ddp_engine to build one)"
+                )
+            self.transport = resolve_transport(self._transport_spec, self.workers)
+            self.transport.start(self.worker_factory)
+
+    def invalidate_replicas(self) -> None:
+        """Force a full sync broadcast before the next training batch —
+        call after mutating the driver out-of-band (e.g.
+        ``engine.load_checkpoint``; replicas are not checkpointed)."""
+        self._need_sync = True
+
+    def close(self) -> None:
+        """Shut the transport (and its worker ranks) down; idempotent."""
+        if self.transport is not None:
+            self.transport.close()
+            self.transport = None
+        self._need_sync = True
+
+    # ------------------------------------------------------------------
+    # Batch dispatch.
+    # ------------------------------------------------------------------
+    def _inner_for(self, phase: Phase) -> PhaseStrategy:
+        try:
+            return self.inner[phase]
+        except KeyError:
+            raise KeyError(
+                f"no inner strategy for phase {phase!r}; "
+                f"have {sorted(p.value for p in self.inner)}"
+            ) from None
+
+    def _scope(self, inner: PhaseStrategy):
+        """The inner strategy's backend scope (the engine only sees this
+        wrapper's ``backend``, so per-phase overrides are re-applied
+        here — serial-equivalent resolution order)."""
+        if inner.backend is not None:
+            return backend_scope(inner.backend)
+        return nullcontext()
+
+    def train_batch(self, inputs, targets, phase: Phase) -> BatchResult:
+        inner = self._inner_for(phase)
+        if self.workers == 1:
+            with self._scope(inner):
+                return inner.train_batch(inputs, targets, phase)
+        if phase is Phase.GP:
+            return self._train_gp(inner, inputs, targets)
+        return self._train_bp(inner, inputs, targets, phase)
+
+    # ------------------------------------------------------------------
+    # Sync + helpers.
+    # ------------------------------------------------------------------
+    def _lrs(self) -> dict:
+        engine = self.engine
+        gp_separate = (
+            engine.gp_optimizer is not None
+            and engine.gp_optimizer is not engine.optimizer
+        )
+        return {
+            "lr": engine.optimizer.lr,
+            "gp_lr": engine.gp_optimizer.lr if gp_separate else None,
+            "predictor_lr": (
+                engine.predictor.optimizer.lr if engine.predictor is not None else None
+            ),
+        }
+
+    def _sync_replicas(self, epoch: int, lrs: dict) -> None:
+        state = sync_state(self.engine)
+        self.transport.broadcast({"op": "sync", "state": state, "lrs": lrs})
+        self.comm.record_sync(epoch, state_nbytes(state) * (self.workers - 1))
+        self._need_sync = False
+        self._drifted = False
+        self._predictor_stale = False
+
+    # ------------------------------------------------------------------
+    # BP/WARMUP: shard → forward_backward → all-reduce → step everywhere.
+    # ------------------------------------------------------------------
+    def _train_bp(self, inner, inputs, targets, phase: Phase) -> BatchResult:
+        engine = self.engine
+        epoch = engine.current_epoch
+        lrs = self._lrs()
+        if self._need_sync or (self._drifted and self.resync == "phase"):
+            self._sync_replicas(epoch, lrs)
+        n = len(inputs)
+        sizes = shard_sizes(n, self.workers)
+        offsets = [sum(sizes[:rank]) for rank in range(self.workers)]
+        for rank in range(1, self.workers):
+            if sizes[rank] == 0:
+                continue
+            cut = slice(offsets[rank], offsets[rank] + sizes[rank])
+            self.transport.submit(
+                rank,
+                {
+                    "op": "compute",
+                    "inputs": inputs[cut],
+                    "targets": targets[cut],
+                    "phase": phase,
+                    "scale": sizes[rank] / n,
+                    "lrs": lrs,
+                },
+            )
+        # Rank 0's shard runs in-process while worker ranks compute.
+        with self._scope(inner):
+            local = inner.forward_backward(
+                inputs[: sizes[0]], targets[: sizes[0]], phase, grad_scale=sizes[0] / n
+            )
+        engine.model.clear_caches()
+        params = engine.optimizer.parameters
+        replies = {
+            0: {
+                "loss": local.loss,
+                "n": sizes[0],
+                "enc": [
+                    self.codec.encode(index, param.grad)
+                    if param.grad is not None
+                    else None
+                    for index, param in enumerate(params)
+                ],
+                "mse": local.predictor_mse,
+                "mape": local.predictor_mape,
+            }
+        }
+        for rank in range(1, self.workers):
+            if sizes[rank] > 0:
+                replies[rank] = self.transport.collect(rank)
+        # Rank-ordered decode+sum — the same kernel every worker runs in
+        # its apply step, so all ranks install bitwise-equal gradients.
+        encs_by_rank = [
+            replies[rank]["enc"] if rank in replies else None
+            for rank in range(self.workers)
+        ]
+        for index, param in enumerate(params):
+            param.grad = decode_sum(
+                [encs[index] if encs is not None else None for encs in encs_by_rank]
+            )
+        engine.optimizer.step()
+        self.transport.broadcast({"op": "apply", "encs": encs_by_rank, "lrs": lrs})
+        self._account_grads(epoch, encs_by_rank)
+        if engine.predictor is not None:
+            self._predictor_stale = True
+        return self._merge_results(replies, phase, n)
+
+    def _account_grads(self, epoch: int, encs_by_rank: list) -> None:
+        """Wire accounting: worker uplinks + the apply fan-out carrying
+        every rank's payload to every worker."""
+        wire_up = dense_up = wire_all = dense_all = 0
+        for rank, encs in enumerate(encs_by_rank):
+            if encs is None:
+                continue
+            wire = sum(enc.wire_bytes for enc in encs if enc is not None)
+            dense = sum(enc.dense_bytes for enc in encs if enc is not None)
+            wire_all += wire
+            dense_all += dense
+            if rank > 0:
+                wire_up += wire
+                dense_up += dense
+        fan_out = self.workers - 1
+        self.comm.record_grads(
+            epoch,
+            wire_up + fan_out * wire_all,
+            dense_up + fan_out * dense_all,
+        )
+
+    def _merge_results(self, replies: dict, phase: Phase, n: int) -> BatchResult:
+        """Shard-weighted merge of per-rank losses and predictor metrics
+        (rank order throughout, so the merge is deterministic)."""
+        engine = self.engine
+        ranks = sorted(replies)
+        weights = {rank: replies[rank]["n"] / n for rank in ranks}
+        loss = sum(weights[rank] * replies[rank]["loss"] for rank in ranks)
+        mse_acc: dict[int, float] = {}
+        mape_acc: dict[int, float] = {}
+        weight_acc: dict[int, float] = {}
+        for rank in ranks:
+            mse = replies[rank].get("mse") or {}
+            mape = replies[rank].get("mape") or {}
+            for index in mse:
+                mse_acc[index] = mse_acc.get(index, 0.0) + weights[rank] * mse[index]
+                mape_acc[index] = (
+                    mape_acc.get(index, 0.0) + weights[rank] * mape.get(index, 0.0)
+                )
+                weight_acc[index] = weight_acc.get(index, 0.0) + weights[rank]
+            # Rank 0's MAPEs were observed inside its own
+            # forward_backward; feed worker MAPEs to the driver's
+            # adaptive schedule in rank order.
+            if rank > 0 and hasattr(engine.schedule, "observe_mape"):
+                for index in sorted(mape):
+                    engine.schedule.observe_mape(mape[index])
+        mse_merged = {
+            index: value / weight_acc[index] for index, value in mse_acc.items()
+        }
+        mape_merged = {
+            index: value / weight_acc[index] for index, value in mape_acc.items()
+        }
+        return BatchResult(
+            loss=float(loss),
+            phase=phase,
+            predictor_mse=mse_merged or None,
+            predictor_mape=mape_merged or None,
+            shard_batches=len(ranks),
+        )
+
+    # ------------------------------------------------------------------
+    # GP: every rank predicts locally; zero gradient bytes on the wire.
+    # ------------------------------------------------------------------
+    def _train_gp(self, inner, inputs, targets) -> BatchResult:
+        engine = self.engine
+        epoch = engine.current_epoch
+        lrs = self._lrs()
+        if self._need_sync or (self._predictor_stale and self.resync == "phase"):
+            # BP→GP boundary (or initial/invalidate) sync; consecutive
+            # GP batches never sync — they stay comm-free by design.
+            self._sync_replicas(epoch, lrs)
+        n = len(inputs)
+        sizes = shard_sizes(n, self.workers)
+        offsets = [sum(sizes[:rank]) for rank in range(self.workers)]
+        for rank in range(1, self.workers):
+            if sizes[rank] == 0:
+                continue
+            cut = slice(offsets[rank], offsets[rank] + sizes[rank])
+            self.transport.submit(
+                rank,
+                {
+                    "op": "gp",
+                    "inputs": inputs[cut],
+                    "targets": targets[cut],
+                    "lrs": lrs,
+                },
+            )
+        with self._scope(inner):
+            local = inner.train_batch(inputs[: sizes[0]], targets[: sizes[0]], Phase.GP)
+        engine.model.clear_caches()
+        replies = {0: {"loss": local.loss, "n": sizes[0]}}
+        for rank in range(1, self.workers):
+            if sizes[rank] > 0:
+                replies[rank] = self.transport.collect(rank)
+        self._drifted = True
+        self.comm.record_gp(epoch)
+        return self._merge_results(replies, Phase.GP, n)

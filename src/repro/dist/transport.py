@@ -1,0 +1,218 @@
+"""Comm substrate for data-parallel training, swappable like a backend.
+
+A :class:`Transport` owns the worker ranks ``1..world_size-1`` (rank 0
+is the driver process itself — the engine that runs the fit loop) and
+moves command/reply dicts between them:
+
+* :class:`LocalTransport` — workers are in-process objects, commands
+  execute synchronously at submit time.  Zero-dependency, fully
+  deterministic, the default for tests and 1-core CI.
+* :class:`ProcessTransport` — one ``multiprocessing.Process`` per
+  worker rank, a dedicated ``Pipe`` each, commands pickled across.
+  Real parallelism; the bitwise-parity tests pin its results to
+  ``LocalTransport``'s.
+
+Both build workers from the *same* picklable factory
+(``factory(rank) -> worker``, a ``functools.partial`` over one pickled
+payload), so a replica's construction path — and therefore its state —
+is identical whichever transport hosts it.  That construction symmetry,
+plus the rank-ordered :meth:`Transport.allreduce`, is why swapping
+transports cannot change a single bit of the training trajectory.
+
+The protocol is strict request/reply: every :meth:`submit` owes exactly
+one :meth:`collect` on the same rank, and :meth:`broadcast` pairs the
+two for all ranks at once.  The data-parallel strategy alternates
+submit-all / collect-all per batch, which keeps the pipes deadlock-free
+by construction (no rank ever holds two outstanding commands).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from .codec import _ordered_sum
+
+WorkerFactory = Callable[[int], object]
+
+
+class Transport:
+    """Command/reply fabric over worker ranks ``1..world_size-1``."""
+
+    def __init__(self, world_size: int) -> None:
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = int(world_size)
+        self.started = False
+
+    @property
+    def worker_ranks(self) -> range:
+        return range(1, self.world_size)
+
+    def start(self, factory: WorkerFactory) -> None:
+        """Build and launch every worker rank from ``factory(rank)``."""
+        raise NotImplementedError
+
+    def submit(self, rank: int, cmd: dict) -> None:
+        """Send one command to ``rank``; owes exactly one :meth:`collect`."""
+        raise NotImplementedError
+
+    def collect(self, rank: int) -> dict:
+        """Receive the reply to the oldest outstanding command on ``rank``."""
+        raise NotImplementedError
+
+    def broadcast(self, cmd: dict) -> list[dict]:
+        """Submit ``cmd`` to every worker rank, collect every reply
+        (rank order).  Returns the replies for ranks ``1..W-1``."""
+        for rank in self.worker_ranks:
+            self.submit(rank, cmd)
+        return [self.collect(rank) for rank in self.worker_ranks]
+
+    def barrier(self) -> None:
+        """Block until every worker rank has drained its queue and
+        acknowledged a ping."""
+        self.broadcast({"op": "ping"})
+
+    def allreduce(
+        self, contributions: Iterable[Optional[np.ndarray]]
+    ) -> Optional[np.ndarray]:
+        """Exact rank-ordered sum of per-rank arrays (``None`` skipped).
+
+        Gather-sum-broadcast rather than a ring: every rank sees all
+        contributions and adds them in rank order, so the reduction is
+        bitwise-deterministic — the property the parity gates rely on,
+        and the deliberate trade against ring-allreduce bandwidth
+        optimality at this world size.
+        """
+        return _ordered_sum(contributions)
+
+    def close(self) -> None:
+        """Shut every worker down; idempotent."""
+        raise NotImplementedError
+
+
+class LocalTransport(Transport):
+    """In-process workers, synchronous execution at submit time.
+
+    Execution order is rank-sequential rather than concurrent, but each
+    rank's computation depends only on its own shard and replica state,
+    so results match :class:`ProcessTransport` bitwise.
+    """
+
+    def __init__(self, world_size: int) -> None:
+        super().__init__(world_size)
+        self._workers: dict[int, object] = {}
+        self._replies: dict[int, list[dict]] = {}
+
+    def start(self, factory: WorkerFactory) -> None:
+        if self.started:
+            return
+        for rank in self.worker_ranks:
+            self._workers[rank] = factory(rank)
+            self._replies[rank] = []
+        self.started = True
+
+    def submit(self, rank: int, cmd: dict) -> None:
+        self._replies[rank].append(self._workers[rank].handle(cmd))
+
+    def collect(self, rank: int) -> dict:
+        return self._replies[rank].pop(0)
+
+    def close(self) -> None:
+        self._workers.clear()
+        self._replies.clear()
+        self.started = False
+
+
+def _process_worker_main(conn, rank: int, factory: WorkerFactory) -> None:
+    """Child-process loop: build the replica, then serve the pipe until
+    a ``close`` command arrives (acknowledged before exit)."""
+    worker = factory(rank)
+    while True:
+        cmd = conn.recv()
+        conn.send(worker.handle(cmd))
+        if cmd.get("op") == "close":
+            break
+    conn.close()
+
+
+class ProcessTransport(Transport):
+    """One OS process + pipe per worker rank (``multiprocessing``).
+
+    Workers are daemonic, so a crashed driver cannot leak them.  The
+    factory and every command/reply crosses the pipe via pickle; numpy
+    arrays pickle to their raw buffers, so gradient payloads cost their
+    ``wire_bytes``, not a text encoding.
+    """
+
+    def __init__(self, world_size: int) -> None:
+        super().__init__(world_size)
+        self._procs: dict[int, mp.Process] = {}
+        self._conns: dict[int, object] = {}
+
+    def start(self, factory: WorkerFactory) -> None:
+        if self.started:
+            return
+        for rank in self.worker_ranks:
+            parent, child = mp.Pipe()
+            proc = mp.Process(
+                target=_process_worker_main,
+                args=(child, rank, factory),
+                daemon=True,
+                name=f"repro-dist-rank{rank}",
+            )
+            proc.start()
+            child.close()
+            self._procs[rank] = proc
+            self._conns[rank] = parent
+        self.started = True
+
+    def submit(self, rank: int, cmd: dict) -> None:
+        self._conns[rank].send(cmd)
+
+    def collect(self, rank: int) -> dict:
+        return self._conns[rank].recv()
+
+    def close(self) -> None:
+        if not self.started:
+            return
+        for rank, conn in self._conns.items():
+            try:
+                conn.send({"op": "close"})
+                conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs.values():
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker backstop
+                proc.terminate()
+        self._procs.clear()
+        self._conns.clear()
+        self.started = False
+
+
+def resolve_transport(spec, world_size: int) -> Transport:
+    """Resolve a transport spec: ``"local"``/``"process"``, a
+    :class:`Transport` instance (world size must match), or ``None``
+    (local)."""
+    if spec is None:
+        return LocalTransport(world_size)
+    if isinstance(spec, Transport):
+        if spec.world_size != world_size:
+            raise ValueError(
+                f"transport world_size {spec.world_size} != workers {world_size}"
+            )
+        return spec
+    if isinstance(spec, str):
+        if spec == "local":
+            return LocalTransport(world_size)
+        if spec == "process":
+            return ProcessTransport(world_size)
+        raise ValueError(
+            f"unknown transport {spec!r}; expected 'local', 'process', "
+            "or a Transport instance"
+        )
+    raise TypeError(f"cannot resolve transport from {type(spec).__name__}")

@@ -39,6 +39,7 @@ from .space import (
     LogUniform,
     SearchSpace,
     Uniform,
+    seed_for_trial,
     spawn_rngs,
     spawn_seeds,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "Uniform",
     "LogUniform",
     "SearchSpace",
+    "seed_for_trial",
     "spawn_rngs",
     "spawn_seeds",
     "BASE_THRESHOLDS",

@@ -35,20 +35,27 @@ from .trial import TrialResult, TrialSpec, spec_from_config
 
 
 def draw_trials(
-    space: SearchSpace, seed: int, count: int
+    space: SearchSpace, seed: int, count: int, prefix: str = "r"
 ) -> list[tuple[dict[str, Any], int]]:
     """``count`` (configuration, trial_seed) pairs from one root seed.
 
-    Each trial gets its own spawned child sequence, split once more into
-    a configuration-sampling stream and a JSON-safe training seed —
-    trials never share randomness, and pair ``i`` is independent of how
-    many pairs are drawn after it.
+    Configurations come from per-trial spawned child streams (pair ``i``
+    is independent of how many pairs are drawn after it); training seeds
+    are id-keyed via :func:`~repro.tune.space.seed_for_trial` on the
+    trial's base id ``f"{prefix}{i:03d}"`` — a pure function of identity,
+    unaffected by batch composition or the executing worker count, so
+    resumed and re-sharded searches reproduce identical trials.
     """
+    from .space import seed_for_trial
+
     pairs: list[tuple[dict[str, Any], int]] = []
-    for child in np.random.SeedSequence(seed).spawn(count):
-        config_ss, seed_ss = child.spawn(2)
+    for i, child in enumerate(np.random.SeedSequence(seed).spawn(count)):
+        # The config stream is still the child's first split (unchanged
+        # across the positional->id-keyed seed migration, so historical
+        # searches draw the same configurations).
+        config_ss, _ = child.spawn(2)
         config = space.sample(np.random.default_rng(config_ss))
-        trial_seed = int(seed_ss.generate_state(1, np.uint32)[0])
+        trial_seed = seed_for_trial(seed, f"{prefix}{i:03d}")
         pairs.append((config, trial_seed))
     return pairs
 
@@ -77,16 +84,19 @@ class GridSearch:
         self.base = base
 
     def specs(self) -> list[TrialSpec]:
-        from .space import spawn_seeds
+        from .space import seed_for_trial
 
         configs = list(self.space.grid())
-        if self.per_trial_seeds:
-            seeds = spawn_seeds(self.trial_seed, len(configs))
-        else:
-            seeds = [self.trial_seed] * len(configs)
         return [
             spec_from_config(
-                f"{self.prefix}{i:03d}", config, seed=seeds[i], **self.base
+                f"{self.prefix}{i:03d}",
+                config,
+                seed=(
+                    seed_for_trial(self.trial_seed, f"{self.prefix}{i:03d}")
+                    if self.per_trial_seeds
+                    else self.trial_seed
+                ),
+                **self.base,
             )
             for i, config in enumerate(configs)
         ]
@@ -118,7 +128,7 @@ class RandomSearch:
         return [
             spec_from_config(f"{self.prefix}{i:03d}", config, seed=trial_seed, **self.base)
             for i, (config, trial_seed) in enumerate(
-                draw_trials(self.space, self.seed, self.num_trials)
+                draw_trials(self.space, self.seed, self.num_trials, self.prefix)
             )
         ]
 
@@ -225,7 +235,14 @@ class SuccessiveHalving:
         runner = runner or SearchRunner()
         budgets = self.rung_budgets()
         outcome = HalvingOutcome(rung_budgets=budgets)
-        active = list(enumerate(draw_trials(self.space, self.seed, self.num_trials)))
+        # Seeds are keyed on the base id (f"{prefix}{index:03d}", no rung
+        # suffix), so a promoted config trains from the same seed at
+        # every rung — the determinism the rung-prefix guarantee needs.
+        active = list(
+            enumerate(
+                draw_trials(self.space, self.seed, self.num_trials, self.prefix)
+            )
+        )
         for rung, budget in enumerate(budgets):
             # Arm earlier rungs' cutoffs (NaN cutoffs — a rung whose
             # worst survivor failed — establish no bar).

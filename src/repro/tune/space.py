@@ -11,6 +11,7 @@ order, or in which process.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import math
 from dataclasses import dataclass
@@ -139,10 +140,31 @@ def spawn_seeds(seed: int, count: int) -> list[int]:
 
     Each is the first state word of a spawned child sequence, so trial
     seeds inherit the non-collision property while remaining plain ints
-    a :class:`~repro.tune.trial.TrialSpec` can journal.
+    a :class:`~repro.tune.trial.TrialSpec` can journal.  Seeds here are
+    keyed on *position*; prefer :func:`seed_for_trial` when a stable
+    trial id exists — id-keyed seeds survive re-batching.
     """
     children = np.random.SeedSequence(seed).spawn(count)
     return [int(child.generate_state(1, np.uint32)[0]) for child in children]
+
+
+def seed_for_trial(seed: int, trial_id: str) -> int:
+    """JSON-safe training seed as a pure function of (root seed, trial id).
+
+    The id is hashed (SHA-256, first 16 bytes) into a 4-word
+    ``SeedSequence`` spawn key, so a trial's seed depends on nothing but
+    the search's root seed and the trial's own identity — not its
+    position in the batch, not how many trials were drawn around it,
+    and not how many pool workers execute them.  That independence is
+    what lets a journaled search resumed under a different ``workers=``
+    count reproduce bit-identical trial results.
+    """
+    digest = hashlib.sha256(trial_id.encode("utf-8")).digest()
+    spawn_key = tuple(
+        int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)
+    )
+    child = np.random.SeedSequence(seed, spawn_key=spawn_key)
+    return int(child.generate_state(1, np.uint32)[0])
 
 
 class SearchSpace:

@@ -1,0 +1,152 @@
+"""Transport substrate tests: request/reply protocol, rank-ordered
+allreduce determinism, and Local/Process interchangeability."""
+
+import numpy as np
+import pytest
+
+from repro.dist import (
+    LocalTransport,
+    ProcessTransport,
+    Transport,
+    resolve_transport,
+)
+
+RNG = np.random.default_rng(13)
+
+
+class ArithmeticWorker:
+    """Minimal picklable worker: deterministic replies keyed on rank."""
+
+    def __init__(self, rank):
+        self.rank = rank
+        self.calls = 0
+
+    def handle(self, cmd):
+        self.calls += 1
+        op = cmd.get("op")
+        if op == "add":
+            return {"rank": self.rank, "value": cmd["value"] + self.rank}
+        if op == "scale":
+            return {"rank": self.rank, "array": cmd["array"] * self.rank}
+        if op == "calls":
+            return {"rank": self.rank, "calls": self.calls}
+        return {"ok": True, "rank": self.rank}
+
+
+def _factory(rank):
+    return ArithmeticWorker(rank)
+
+
+@pytest.fixture(params=["local", "process"])
+def transport(request):
+    t = resolve_transport(request.param, 3)
+    t.start(_factory)
+    yield t
+    t.close()
+
+
+class TestProtocol:
+    def test_submit_collect_round_trip(self, transport):
+        transport.submit(1, {"op": "add", "value": 10})
+        transport.submit(2, {"op": "add", "value": 10})
+        assert transport.collect(1) == {"rank": 1, "value": 11}
+        assert transport.collect(2) == {"rank": 2, "value": 12}
+
+    def test_replies_are_fifo_per_rank(self, transport):
+        transport.submit(1, {"op": "add", "value": 1})
+        transport.submit(1, {"op": "add", "value": 100})
+        assert transport.collect(1)["value"] == 2
+        assert transport.collect(1)["value"] == 101
+
+    def test_broadcast_collects_in_rank_order(self, transport):
+        replies = transport.broadcast({"op": "add", "value": 0})
+        assert [r["rank"] for r in replies] == [1, 2]
+        assert [r["value"] for r in replies] == [1, 2]
+
+    def test_barrier_drains_every_rank(self, transport):
+        transport.barrier()
+        replies = transport.broadcast({"op": "calls"})
+        # barrier's ping was call 1 on every rank; this broadcast is 2.
+        assert [r["calls"] for r in replies] == [2, 2]
+
+    def test_arrays_cross_intact(self, transport):
+        array = RNG.standard_normal(64).astype(np.float32)
+        transport.submit(2, {"op": "scale", "array": array})
+        reply = transport.collect(2)
+        assert reply["array"].tobytes() == (array * 2).tobytes()
+
+    def test_worker_state_persists_across_commands(self, transport):
+        transport.submit(1, {"op": "add", "value": 0})
+        transport.collect(1)
+        transport.submit(1, {"op": "calls"})
+        assert transport.collect(1)["calls"] == 2
+
+    def test_close_is_idempotent(self, transport):
+        transport.close()
+        transport.close()
+        assert not transport.started
+
+
+class TestAllreduce:
+    def test_rank_ordered_exact_sum(self):
+        t = LocalTransport(3)
+        a = RNG.standard_normal(32).astype(np.float32)
+        b = RNG.standard_normal(32).astype(np.float32)
+        c = RNG.standard_normal(32).astype(np.float32)
+        total = t.allreduce([a, b, c])
+        # Same accumulation order as a manual left-to-right sum.
+        assert total.tobytes() == ((a + b) + c).tobytes()
+
+    def test_none_contributions_skipped(self):
+        t = LocalTransport(2)
+        a = RNG.standard_normal(8).astype(np.float32)
+        assert t.allreduce([None, a]).tobytes() == a.tobytes()
+        assert t.allreduce([None, None]) is None
+
+    def test_does_not_mutate_inputs(self):
+        t = LocalTransport(2)
+        a = np.ones(4, dtype=np.float32)
+        b = np.ones(4, dtype=np.float32)
+        t.allreduce([a, b])
+        assert a.tolist() == [1, 1, 1, 1]
+
+
+class TestResolveTransport:
+    def test_names(self):
+        assert isinstance(resolve_transport(None, 2), LocalTransport)
+        assert isinstance(resolve_transport("local", 2), LocalTransport)
+        assert isinstance(resolve_transport("process", 2), ProcessTransport)
+
+    def test_instance_pass_through_checks_world_size(self):
+        t = LocalTransport(4)
+        assert resolve_transport(t, 4) is t
+        with pytest.raises(ValueError, match="world_size"):
+            resolve_transport(t, 2)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            resolve_transport("mpi", 2)
+        with pytest.raises(TypeError):
+            resolve_transport(3.5, 2)
+        with pytest.raises(ValueError):
+            Transport(0)
+
+
+class TestLocalProcessEquivalence:
+    def test_same_replies_for_same_commands(self):
+        local = resolve_transport("local", 3)
+        proc = resolve_transport("process", 3)
+        local.start(_factory)
+        proc.start(_factory)
+        try:
+            array = RNG.standard_normal(16).astype(np.float32)
+            for transport in (local, proc):
+                transport.submit(1, {"op": "scale", "array": array})
+                transport.submit(2, {"op": "add", "value": 5})
+            r_local = [local.collect(1), local.collect(2)]
+            r_proc = [proc.collect(1), proc.collect(2)]
+            assert r_local[0]["array"].tobytes() == r_proc[0]["array"].tobytes()
+            assert r_local[1] == r_proc[1]
+        finally:
+            local.close()
+            proc.close()

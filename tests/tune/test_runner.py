@@ -139,6 +139,37 @@ class TestParallelRunner:
             r.deterministic_dict() for r in serial
         ]
 
+    def test_resume_under_different_worker_count_is_identical(self, tmp_path):
+        """Trial seeds are id-keyed (seed_for_trial), never derived from
+        the executing pool — so a search interrupted and resumed with a
+        different ``workers=`` count must reproduce the uninterrupted
+        search's results bit for bit."""
+        from repro.tune import RandomSearch, SearchSpace
+        from repro.tune.space import LogUniform
+
+        space = SearchSpace(
+            {
+                "kind": "adaptive",
+                "threshold_scale": LogUniform(1.0, 8.0),
+                "warmup_epochs": 1,
+            }
+        )
+        specs = RandomSearch(space, num_trials=4, seed=9, **TINY).specs()
+
+        reference = SearchRunner(workers=1).run(specs)
+
+        journal = tmp_path / "search.jsonl"
+        first = SearchRunner(workers=2, journal=journal)
+        first.run(specs[:2])  # "interrupted" after two trials
+        assert first.executed == 2
+        resumed = SearchRunner(workers=3, journal=journal)
+        results = resumed.run(specs)
+        assert resumed.executed == 2  # journal served the finished half
+
+        assert [r.deterministic_dict() for r in results] == [
+            r.deterministic_dict() for r in reference
+        ]
+
     def test_pool_crash_isolation_and_journal(self, tmp_path):
         journal = tmp_path / "search.jsonl"
         specs = _specs(2)

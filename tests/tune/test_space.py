@@ -149,3 +149,15 @@ class TestSpawnedStreams:
     def test_spawn_rejects_negative_count(self):
         with pytest.raises(ValueError):
             spawn_rngs(0, -1)
+
+    def test_seed_for_trial_is_pure_in_identity(self):
+        from repro.tune import seed_for_trial
+
+        # Same (root seed, id) always maps to the same seed; position,
+        # batch size and worker count never enter the derivation.
+        assert seed_for_trial(5, "r003") == seed_for_trial(5, "r003")
+        assert seed_for_trial(5, "r003") != seed_for_trial(6, "r003")
+        assert seed_for_trial(5, "r003") != seed_for_trial(5, "r004")
+        seeds = {seed_for_trial(0, f"r{i:03d}") for i in range(256)}
+        assert len(seeds) == 256  # no collisions across a wide batch
+        assert all(isinstance(s, int) and 0 <= s < 2**32 for s in seeds)

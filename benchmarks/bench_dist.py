@@ -1,6 +1,6 @@
 """Bench: data-parallel training and AdaComp gradient compression.
 
-Two records into ``BENCH_dist.json``:
+Three records into ``BENCH_dist.json``:
 
 1. **DDP scaling** — the same ADA-GP fit run serially and as
    ``ddp_engine(workers=2, transport="process")``.  Gate (blocking in
@@ -20,6 +20,13 @@ Two records into ``BENCH_dist.json``:
    adapt, so the honest number — and the one the paper quotes — is the
    per-step ratio after warm-up, not the cumulative average that blends
    the cold start in.
+3. **Recovery overhead** — the same fit run clean and under an injected
+   kill-per-epoch chaos schedule (:class:`~repro.dist.ChaosTransport`
+   over the local transport, so the number is 1-core-honest).  The
+   bitwise faulted ≡ unfaulted assertion is *always* enforced — it is
+   the correctness contract, not a perf property.  The wall-clock
+   overhead gate follows the recorded-but-not-enforced pattern below 2
+   cores, where timer noise on a saturated box dominates the signal.
 
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_dist.py -q
 """
@@ -33,13 +40,24 @@ import pytest
 from _bench_io import record
 from repro.core import bp_engine
 from repro.data import synthetic_images
-from repro.dist import AdaCompCodec, ddp_engine, dp_strategy, shutdown
+from repro.dist import (
+    AdaCompCodec,
+    ChaosTransport,
+    Fault,
+    ddp_engine,
+    dp_strategy,
+    shutdown,
+)
 from repro.models import build_mini
 from repro.nn.losses import CrossEntropyLoss, accuracy
 
 MIN_DDP_SPEEDUP = 1.2
 MIN_ADACOMP_RATIO = 40.0
 WORKERS = 2
+
+#: Ceiling on the chaos run's relative wall-clock cost: a kill-per-epoch
+#: schedule (3 rebuilds over a 3-epoch fit) may at most double the fit.
+MAX_RECOVERY_OVERHEAD = 1.0
 
 #: AdaComp bin size for the compression gate — the compress-hard end of
 #: the paper's range.  The ratio scales ~T/k for k sends per bin; on
@@ -182,3 +200,91 @@ def test_bench_adacomp_compression_gate(benchmark):
         f"{ADACOMP_STEPS} steps)"
     )
     assert steady_ratio >= MIN_ADACOMP_RATIO
+
+
+def test_bench_recovery_overhead_gate(benchmark):
+    """Kill-per-epoch chaos fit vs the clean fit: bitwise identical
+    always; wall-clock overhead gated where timing is meaningful."""
+    import pickle
+
+    from repro.core import HeuristicSchedule
+
+    split = _split()
+
+    def model():
+        return build_mini("VGG13", 10, rng=np.random.default_rng(1))
+
+    def run(transport):
+        engine = ddp_engine(
+            model(), CrossEntropyLoss(), workers=WORKERS,
+            transport=transport, lr=0.05, metric_fn=accuracy,
+            schedule=HeuristicSchedule(warmup_epochs=1, ladder=((2, (1, 1)),)),
+            retry_backoff=0.0,
+        )
+        start = time.perf_counter()
+        history = engine.fit(
+            lambda: split.train.batches(16, rng=np.random.default_rng(2)),
+            lambda: split.val.batches(16),
+            3,
+        )
+        elapsed = time.perf_counter() - start
+        state = pickle.dumps(engine.state_dict())
+        totals = dp_strategy(engine).comm.totals()
+        shutdown(engine)
+        return history, state, elapsed, totals
+
+    results: dict[str, tuple] = {}
+
+    def measure():
+        results["clean"] = run("local")
+        results["chaos"] = run(
+            ChaosTransport(
+                "local",
+                faults=[Fault("kill", rank=1, op="compute", nth=n) for n in (0, 6, 12)],
+            )
+        )
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    h_clean, s_clean, clean_s, _ = results["clean"]
+    h_chaos, s_chaos, chaos_s, totals = results["chaos"]
+    overhead = chaos_s / clean_s - 1.0
+    cores = os.cpu_count() or 1
+    benchmark.extra_info["clean_s"] = clean_s
+    benchmark.extra_info["chaos_s"] = chaos_s
+    benchmark.extra_info["overhead"] = overhead
+    bitwise = h_clean == h_chaos and s_clean == s_chaos
+    record(
+        "BENCH_dist.json",
+        "recovery_overhead",
+        {
+            "model": "VGG13-mini",
+            "epochs": 3,
+            "transport": "chaos(local)",
+            "kills_injected": 3,
+            "clean_s": clean_s,
+            "chaos_s": chaos_s,
+            "overhead": overhead,
+            "rebuilds": totals["rebuilds"],
+            "recovery_s": totals["recovery_s"],
+            "recovery_bytes": totals["recovery_bytes"],
+            "bitwise_identical": bitwise,
+            "gate": MAX_RECOVERY_OVERHEAD,
+            "gate_enforced": cores >= WORKERS,
+        },
+        workers=WORKERS,
+    )
+    print(
+        f"\nRecovery: clean {clean_s:.2f} s, 3-kill chaos {chaos_s:.2f} s "
+        f"(+{overhead * 100:.0f}%, {totals['rebuilds']:.0f} rebuilds, "
+        f"{totals['recovery_bytes'] / 1e6:.1f} MB re-sync)"
+    )
+    # The correctness half of the record is unconditional: recovery that
+    # changes a bit is a wrong answer delivered slowly.
+    assert bitwise
+    assert totals["rebuilds"] >= 3
+    if cores < WORKERS:
+        pytest.skip(
+            f"only {cores} core(s): wall-clock overhead recorded, gate "
+            "not enforced"
+        )
+    assert overhead <= MAX_RECOVERY_OVERHEAD

@@ -8,6 +8,7 @@ DNI engines.
 """
 
 from .checkpoint import (
+    CheckpointCorrupt,
     engine_state,
     load_checkpoint,
     load_engine_state,
@@ -55,6 +56,7 @@ __all__ = [
     "adagp_engine",
     "dni_engine",
     "pipeline_adagp_engine",
+    "CheckpointCorrupt",
     "engine_state",
     "load_engine_state",
     "optimizer_state",

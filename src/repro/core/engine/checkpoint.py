@@ -18,7 +18,10 @@ survives into a new process.
 from __future__ import annotations
 
 import copy
+import os
 import pickle
+import struct
+import zlib
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -29,6 +32,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .engine import TrainingEngine
 
 FORMAT_VERSION = 1
+
+#: On-disk frame: magic + CRC32(body) + body length, then the pickled
+#: state — same shape as the dist wire framing, so truncation and bit
+#: rot are detected before unpickling.
+CHECKPOINT_MAGIC = b"RCK1"
+_CHECKPOINT_HEADER = struct.Struct("<4sII")
+
+
+class CheckpointCorrupt(RuntimeError):
+    """A checkpoint file is truncated, bit-rotted, or not a checkpoint."""
 
 
 def _copy_value(value: Any) -> Any:
@@ -179,13 +192,54 @@ def load_engine_state(engine: "TrainingEngine", state: dict) -> None:
 
 
 def save_checkpoint(engine: "TrainingEngine", path: str) -> None:
-    """Serialize :func:`engine_state` to ``path`` (pickle)."""
-    with open(path, "wb") as handle:
-        pickle.dump(engine_state(engine), handle)
+    """Serialize :func:`engine_state` to ``path`` atomically.
+
+    The checksummed frame is written to ``path + ".tmp"``, fsync'd, then
+    ``os.replace``'d over ``path`` — a crash mid-write leaves either the
+    old checkpoint or the new one, never a torn file.
+    """
+    body = pickle.dumps(engine_state(engine))
+    header = _CHECKPOINT_HEADER.pack(CHECKPOINT_MAGIC, zlib.crc32(body), len(body))
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(header)
+        handle.write(body)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def _read_checkpoint(path: str) -> dict:
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) < _CHECKPOINT_HEADER.size or data[:4] != CHECKPOINT_MAGIC:
+        # Pre-framing checkpoints were a bare pickle; keep loading them.
+        try:
+            return pickle.loads(data)
+        except Exception as err:
+            raise CheckpointCorrupt(
+                f"{path}: not a checkpoint (no {CHECKPOINT_MAGIC!r} header and "
+                f"not a legacy pickle): {err}"
+            ) from err
+    magic, crc, length = _CHECKPOINT_HEADER.unpack_from(data)
+    body = data[_CHECKPOINT_HEADER.size :]
+    if len(body) != length:
+        raise CheckpointCorrupt(
+            f"{path}: truncated checkpoint — header promises {length} body "
+            f"bytes, file has {len(body)}"
+        )
+    if zlib.crc32(body) != crc:
+        raise CheckpointCorrupt(f"{path}: checkpoint body fails its CRC32 check")
+    try:
+        return pickle.loads(body)
+    except Exception as err:  # pragma: no cover - CRC passed but pickle broke
+        raise CheckpointCorrupt(f"{path}: checkpoint body unpickle failed: {err}") from err
 
 
 def load_checkpoint(engine: "TrainingEngine", path: str) -> None:
-    """Load a checkpoint file saved by :func:`save_checkpoint`."""
-    with open(path, "rb") as handle:
-        state = pickle.load(handle)
-    load_engine_state(engine, state)
+    """Load a checkpoint file saved by :func:`save_checkpoint`.
+
+    Raises :class:`CheckpointCorrupt` on truncated or bit-rotted files
+    (detected by the frame header before unpickling).
+    """
+    load_engine_state(engine, _read_checkpoint(path))

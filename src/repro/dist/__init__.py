@@ -37,32 +37,55 @@ from .codec import (
     resolve_codec,
 )
 from .engine import ddp_engine, dp_strategy, invalidate_replicas, shutdown
+from .faults import ChaosTransport, Fault, FaultEvent, chaos, corrupt_frame
 from .strategy import CommStats, DataParallelStrategy, shard_sizes
 from .transport import (
     LocalTransport,
+    PayloadCorrupt,
     ProcessTransport,
     Transport,
+    TransportError,
+    WorkerDied,
+    WorkerError,
+    WorkerTimeout,
+    frame_payload,
+    list_transports,
+    register_transport,
     resolve_transport,
+    unframe_payload,
 )
 from .worker import DistWorker, load_sync_state, state_nbytes, sync_state
 
 __all__ = [
     "AdaCompCodec",
+    "ChaosTransport",
     "Codec",
     "CommStats",
     "DataParallelStrategy",
     "DistWorker",
     "EncodedGrad",
+    "Fault",
+    "FaultEvent",
     "IdentityCodec",
     "LocalTransport",
+    "PayloadCorrupt",
     "ProcessTransport",
     "Transport",
+    "TransportError",
+    "WorkerDied",
+    "WorkerError",
+    "WorkerTimeout",
+    "chaos",
+    "corrupt_frame",
     "ddp_engine",
     "decode",
     "decode_sum",
     "dp_strategy",
+    "frame_payload",
     "invalidate_replicas",
+    "list_transports",
     "load_sync_state",
+    "register_transport",
     "resolve_codec",
     "resolve_transport",
     "shard_sizes",

@@ -37,15 +37,59 @@ full-batch ones bitwise; ``W>=2`` vs serial is an allclose property,
 ``LocalTransport`` vs ``ProcessTransport`` at any ``W`` is the bitwise
 one).
 
-All communication volume lands in :class:`CommStats` (per-epoch wire
-bytes, dense-equivalent bytes, sync broadcast bytes, measured
-compression ratio).  The stats live on the strategy, not the engine —
-strategies are not checkpointed, so a ddp engine's checkpoint stays
-byte-identical to the serial engine's.
+Fault tolerance — the recovery ladder
+-------------------------------------
+Every submitted command carries a per-rank sequence number that the
+replica echoes, and every collect runs through a policy that classifies
+transport faults (see :mod:`repro.dist.transport`) and climbs:
+
+1. **Dedup** — a reply whose sequence number does not match the
+   outstanding command is a stale duplicate (at-least-once delivery)
+   and is silently discarded.
+2. **Retry** — :class:`~repro.dist.transport.WorkerTimeout` is retried
+   up to ``max_retries`` times with linear backoff (a delayed reply is
+   simply collected late).
+3. **Rebuild** — a dead rank (:class:`~repro.dist.transport.WorkerDied`),
+   a corrupt payload (:class:`~repro.dist.transport.PayloadCorrupt`) or
+   a timeout past the retry budget triggers a deterministic rank
+   rebuild: respawn from the pickled factory if dead, re-sync from the
+   retained *phase-boundary* state with a codec-residual reset, replay
+   the rank's accepted command log since that boundary (reproducing its
+   exact pre-fault replica state — replicas drift *by design* inside a
+   run: predictors train on local shards during BP, models take local
+   predicted updates during GP), then resubmit the faulted command.
+   Under the identity codec the rebuilt rank's replies are bitwise
+   identical to the unfaulted run's — the "faulted ≡ unfaulted" rung of
+   the parity ladder.
+4. **Forfeit** — a rank that exhausts ``max_rebuilds`` inside one
+   collect is permanently lost: batches re-shard over the survivors
+   after a world re-sync with codec resets (rank 0's included).  A
+   forfeit during BP gradient gather re-runs the batch on the new
+   shard layout; a forfeit during the apply fan-out or a GP run keeps
+   the completed work (survivors already applied / GP drift is
+   overwritten at the next boundary anyway).  Forfeited runs stay
+   deterministic across identical fault schedules, but are not
+   unfaulted-bitwise (the shard layout changed) — documented trade.
+5. **Degrade** — when the active world drops below ``min_workers``
+   (or below 2), the strategy warns and falls back to serial
+   single-process training rather than aborting the fit.
+
+:class:`~repro.dist.transport.WorkerError` (the replica *application*
+raised) is never retried — it is a bug, not a fabric fault, and
+propagates.
+
+All communication volume and fault accounting lands in
+:class:`CommStats` (per-epoch wire bytes, dense-equivalent bytes, sync
+broadcast bytes, measured compression ratio, plus faults / retries /
+rebuilds / recovery wall-time / recovery bytes).  The stats live on the
+strategy, not the engine — strategies are not checkpointed, so a ddp
+engine's checkpoint stays byte-identical to the serial engine's.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from contextlib import nullcontext
 from typing import Mapping, Optional, Union
 
@@ -53,7 +97,15 @@ from ..core.engine.strategies import BatchResult, PhaseStrategy
 from ..core.schedule import Phase
 from ..nn.backend import backend_scope
 from .codec import Codec, decode_sum, resolve_codec
-from .transport import Transport, resolve_transport
+from .transport import (
+    PayloadCorrupt,
+    Transport,
+    TransportError,
+    WorkerDied,
+    WorkerError,
+    WorkerTimeout,
+    resolve_transport,
+)
 from .worker import state_nbytes, sync_state
 
 
@@ -68,8 +120,22 @@ def shard_sizes(n: int, world_size: int) -> list[int]:
     return [base + (1 if rank < rem else 0) for rank in range(world_size)]
 
 
+class _RanksLost(Exception):
+    """Internal: rank(s) exhausted their rebuild budget mid-batch.
+
+    Carries whatever replies *were* collected so the caller can keep
+    completed work (GP partial merge, apply fan-out) instead of
+    discarding it.
+    """
+
+    def __init__(self, ranks: list[int], replies: dict) -> None:
+        super().__init__(f"ranks {ranks} permanently lost")
+        self.ranks = ranks
+        self.replies = replies
+
+
 class CommStats:
-    """Per-epoch communication accounting for one data-parallel strategy.
+    """Per-epoch communication + fault accounting for one strategy.
 
     ``grad_wire_bytes`` counts actual gradient payload traffic (worker
     uplinks plus the apply broadcast fan-out), ``grad_dense_bytes`` the
@@ -78,22 +144,32 @@ class CommStats:
     counts state resync broadcasts separately (identity-codec runs pay
     sync, not gradient compression).  Input-shard shipping is data-loader
     traffic, deliberately excluded from gradient accounting.
+
+    Fault columns: ``faults`` (transport faults observed), ``retries``
+    (timeout re-collects), ``rebuilds`` (rank rebuilds), ``recovery_s``
+    (wall-clock spent rebuilding) and ``recovery_bytes`` (re-sync +
+    replay state traffic — kept out of ``sync_bytes`` so the steady-state
+    comm story is unpolluted by recovery).
     """
+
+    _KEYS = (
+        "grad_wire_bytes",
+        "grad_dense_bytes",
+        "sync_bytes",
+        "bp_batches",
+        "gp_batches",
+        "faults",
+        "retries",
+        "rebuilds",
+        "recovery_s",
+        "recovery_bytes",
+    )
 
     def __init__(self) -> None:
         self.epochs: dict[int, dict[str, float]] = {}
 
     def _row(self, epoch: int) -> dict[str, float]:
-        return self.epochs.setdefault(
-            epoch,
-            {
-                "grad_wire_bytes": 0,
-                "grad_dense_bytes": 0,
-                "sync_bytes": 0,
-                "bp_batches": 0,
-                "gp_batches": 0,
-            },
-        )
+        return self.epochs.setdefault(epoch, self._empty())
 
     def record_grads(self, epoch: int, wire_bytes: int, dense_bytes: int) -> None:
         row = self._row(epoch)
@@ -107,15 +183,25 @@ class CommStats:
     def record_sync(self, epoch: int, nbytes: int) -> None:
         self._row(epoch)["sync_bytes"] += nbytes
 
+    def record_recovery(
+        self,
+        epoch: int,
+        faults: int = 0,
+        retries: int = 0,
+        rebuilds: int = 0,
+        seconds: float = 0.0,
+        nbytes: int = 0,
+    ) -> None:
+        row = self._row(epoch)
+        row["faults"] += faults
+        row["retries"] += retries
+        row["rebuilds"] += rebuilds
+        row["recovery_s"] += seconds
+        row["recovery_bytes"] += nbytes
+
     def totals(self) -> dict[str, float]:
         """Sum of every epoch row (same keys)."""
-        totals = {
-            "grad_wire_bytes": 0.0,
-            "grad_dense_bytes": 0.0,
-            "sync_bytes": 0.0,
-            "bp_batches": 0.0,
-            "gp_batches": 0.0,
-        }
+        totals = self._empty()
         for row in self.epochs.values():
             for key, value in row.items():
                 totals[key] += value
@@ -129,15 +215,9 @@ class CommStats:
             return float("nan")
         return row["grad_dense_bytes"] / row["grad_wire_bytes"]
 
-    @staticmethod
-    def _empty() -> dict[str, float]:
-        return {
-            "grad_wire_bytes": 0,
-            "grad_dense_bytes": 0,
-            "sync_bytes": 0,
-            "bp_batches": 0,
-            "gp_batches": 0,
-        }
+    @classmethod
+    def _empty(cls) -> dict[str, float]:
+        return {key: 0 for key in cls._KEYS}
 
 
 class DataParallelStrategy(PhaseStrategy):
@@ -156,7 +236,7 @@ class DataParallelStrategy(PhaseStrategy):
         Gradient codec spec (name or instance) — *rank 0's* instance;
         replicas spawn their own so residual state stays rank-local.
     transport:
-        ``"local"`` / ``"process"`` / a started-or-not
+        ``"local"`` / ``"process"`` / ``"chaos"`` / a started-or-not
         :class:`~repro.dist.transport.Transport`.
     resync:
         ``"phase"`` (default): broadcast rank-0 sync state at phase
@@ -165,10 +245,28 @@ class DataParallelStrategy(PhaseStrategy):
         predicted updates).  ``"never"``: replicas keep their drifted
         predictors/weights until the next explicit
         :meth:`invalidate_replicas` — documented-unsafe, for drift
-        experiments.
+        experiments (note: the recovery replay log then grows for the
+        whole run, since the retained boundary never advances).
     worker_factory:
         Picklable ``factory(rank) -> DistWorker`` (required when
         ``workers > 1``); built by :func:`repro.dist.ddp_engine`.
+    timeout:
+        Per-collect deadline in seconds forwarded to
+        ``transport.collect`` (``None`` = the transport's own default;
+        every transport default is finite, so no collect blocks
+        forever).
+    min_workers:
+        Floor on the active world size (rank 0 included).  Below it —
+        or below 2, where "parallel" stops meaning anything — the
+        strategy degrades to serial with a warning instead of aborting.
+    max_retries:
+        Timeout re-collect budget per faulted collect before the
+        timeout escalates to a rank rebuild.
+    retry_backoff:
+        Linear backoff unit between timeout retries, seconds.
+    max_rebuilds:
+        Rank rebuild budget per faulted collect; past it the rank is
+        permanently forfeited and batches re-shard over survivors.
     """
 
     def __init__(
@@ -180,6 +278,11 @@ class DataParallelStrategy(PhaseStrategy):
         resync: str = "phase",
         worker_factory=None,
         backend=None,
+        timeout: Optional[float] = None,
+        min_workers: int = 2,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        max_rebuilds: int = 3,
     ) -> None:
         super().__init__(backend=backend)
         if isinstance(inner, PhaseStrategy):
@@ -189,6 +292,10 @@ class DataParallelStrategy(PhaseStrategy):
             raise ValueError(f"workers must be >= 1, got {workers}")
         if resync not in ("phase", "never"):
             raise ValueError(f"resync must be 'phase' or 'never', got {resync!r}")
+        if min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {min_workers}")
+        if max_retries < 0 or max_rebuilds < 0:
+            raise ValueError("max_retries and max_rebuilds must be >= 0")
         self.workers = int(workers)
         self.codec = resolve_codec(codec)
         self.resync = resync
@@ -196,12 +303,36 @@ class DataParallelStrategy(PhaseStrategy):
         self._transport_spec = transport
         self.transport: Optional[Transport] = None
         self.comm = CommStats()
+        self.timeout = timeout
+        self.min_workers = int(min_workers)
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.max_rebuilds = int(max_rebuilds)
         self._need_sync = True
         # Replica models drifted under local GP updates (GP→BP resync).
         self._drifted = False
         # Replica predictors trained on local shards during a BP run
         # (BP→GP resync); never set when the engine has no predictor.
         self._predictor_stale = False
+        # --- fault-tolerance state -----------------------------------
+        #: World ranks still in service, ascending; rank 0 always first.
+        self._active: list[int] = list(range(self.workers))
+        #: Per-rank next command sequence number.
+        self._seq: dict[int, int] = {}
+        #: Per-rank accepted-command log since the retained boundary —
+        #: the rebuild replay source.
+        self._log: dict[int, list[dict]] = {
+            rank: [] for rank in range(1, self.workers)
+        }
+        #: (sync state, lrs) broadcast at the last boundary.
+        self._boundary: Optional[tuple] = None
+        #: Next sync must reset every rank's codec (post-forfeit world
+        #: reset — rank 0's residual accounting included).
+        self._pending_codec_reset = False
+        #: Degraded to serial (active world under the floor).
+        self._serial = False
+        #: Human-readable fault ledger: one dict per observed fault.
+        self.fault_log: list[dict] = []
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -231,6 +362,7 @@ class DataParallelStrategy(PhaseStrategy):
             self.transport.close()
             self.transport = None
         self._need_sync = True
+        self._boundary = None
 
     # ------------------------------------------------------------------
     # Batch dispatch.
@@ -254,12 +386,194 @@ class DataParallelStrategy(PhaseStrategy):
 
     def train_batch(self, inputs, targets, phase: Phase) -> BatchResult:
         inner = self._inner_for(phase)
-        if self.workers == 1:
-            with self._scope(inner):
-                return inner.train_batch(inputs, targets, phase)
-        if phase is Phase.GP:
-            return self._train_gp(inner, inputs, targets)
-        return self._train_bp(inner, inputs, targets, phase)
+        while True:
+            if self.workers == 1 or self._serial:
+                with self._scope(inner):
+                    return inner.train_batch(inputs, targets, phase)
+            try:
+                if phase is Phase.GP:
+                    return self._train_gp(inner, inputs, targets)
+                return self._train_bp(inner, inputs, targets, phase)
+            except _RanksLost as lost:
+                # Sync or BP gradient-gather forfeit: nothing applied
+                # anywhere yet — forfeit the ranks and re-run the batch
+                # on the surviving shard layout (serial if degraded).
+                self._forfeit(lost.ranks)
+
+    # ------------------------------------------------------------------
+    # Fault-aware submit/collect plumbing.
+    # ------------------------------------------------------------------
+    def _submit(self, rank: int, cmd: dict) -> dict:
+        """Stamp a fresh per-rank sequence number and submit; returns the
+        stamped command (the log/replay unit)."""
+        cmd = dict(cmd)
+        cmd["seq"] = self._seq[rank] = self._seq.get(rank, -1) + 1
+        self.transport.submit(rank, cmd)
+        return cmd
+
+    def _collect_seq(self, rank: int, seq: int) -> dict:
+        """One protocol-correct collect: drop stale duplicates, surface
+        replica-side faults as typed exceptions."""
+        while True:
+            reply = self.transport.collect(rank, timeout=self.timeout)
+            fault = reply.get("fault")
+            if fault == "worker_error":
+                raise WorkerError(
+                    f"rank {rank}: replica raised: {reply.get('error')}", rank=rank
+                )
+            if fault == "payload_corrupt":
+                raise PayloadCorrupt(
+                    f"rank {rank}: replica received a corrupt command", rank=rank
+                )
+            if reply.get("seq") != seq:
+                continue  # stale duplicate (at-least-once delivery)
+            return reply
+
+    def _note_fault(self, epoch: int, rank: int, err: TransportError) -> None:
+        kind = {
+            WorkerTimeout: "timeout",
+            WorkerDied: "died",
+            PayloadCorrupt: "corrupt",
+        }.get(type(err), "transport")
+        self.fault_log.append(
+            {"epoch": epoch, "rank": rank, "kind": kind, "error": str(err)}
+        )
+        self.comm.record_recovery(epoch, faults=1)
+
+    def _collect_checked(self, rank: int, sent: dict, epoch: int) -> dict:
+        """Collect ``sent``'s reply from ``rank``, climbing the recovery
+        ladder: retry timeouts, rebuild fatal faults, forfeit past the
+        rebuild budget (raises :class:`_RanksLost` via the caller)."""
+        retries = rebuilds = 0
+        rebuild_next = False
+        while True:
+            if rebuild_next:
+                rebuild_next = False
+                if rebuilds >= self.max_rebuilds:
+                    raise _RanksLost([rank], {})
+                rebuilds += 1
+                started = time.perf_counter()
+                try:
+                    sent = self._rebuild(rank, sent, epoch)
+                except WorkerError:
+                    raise
+                except TransportError as err:
+                    # The rebuild itself faulted (chaos does not pause
+                    # for repairs); count it and rebuild again from
+                    # scratch — the boundary re-sync makes it idempotent.
+                    self._note_fault(epoch, rank, err)
+                    rebuild_next = True
+                    continue
+                finally:
+                    self.comm.record_recovery(
+                        epoch, rebuilds=1, seconds=time.perf_counter() - started
+                    )
+                retries = 0
+            try:
+                return self._collect_seq(rank, sent["seq"])
+            except WorkerError:
+                raise  # replica application bug, not a fabric fault
+            except TransportError as err:
+                self._note_fault(epoch, rank, err)
+                if isinstance(err, WorkerTimeout) and retries < self.max_retries:
+                    retries += 1
+                    self.comm.record_recovery(epoch, retries=1)
+                    if self.retry_backoff > 0:
+                        time.sleep(self.retry_backoff * retries)
+                    continue
+                if isinstance(err, WorkerTimeout):
+                    # Out of retries: the rank is wedged — kill it so
+                    # the rebuild starts from a clean respawn.
+                    try:
+                        self.transport.kill_rank(rank)
+                    except TransportError:
+                        pass
+                rebuild_next = True
+
+    def _rebuild(self, rank: int, sent: dict, epoch: int) -> dict:
+        """Deterministically rebuild one rank and resubmit ``sent``.
+
+        Respawn if dead, re-sync from the retained boundary state with a
+        codec reset, replay the rank's accepted-command log (reproducing
+        its exact pre-fault replica state), then resubmit the faulted
+        command.  Returns the resubmitted (re-stamped) command."""
+        transport = self.transport
+        if not transport.alive(rank):
+            transport.respawn_rank(rank)
+        if self._boundary is None:
+            raise TransportError(
+                f"rank {rank}: no boundary state retained to rebuild from",
+                rank=rank,
+            )
+        state, lrs = self._boundary
+        sync = self._submit(
+            rank, {"op": "sync", "state": state, "lrs": lrs, "reset_codec": True}
+        )
+        self._collect_seq(rank, sync["seq"])
+        self.comm.record_recovery(epoch, nbytes=state_nbytes(state))
+        for logged in self._log[rank]:
+            replayed = self._submit(rank, logged)
+            self._collect_seq(rank, replayed["seq"])  # replies already consumed
+        return self._submit(rank, sent)
+
+    def _collect_all(self, pending: list, epoch: int) -> dict:
+        """Collect every (rank, sent) pair's reply in rank order.
+
+        A rank that forfeits does not abort the sweep: the others are
+        still collected with full recovery (the strict one-reply-per-
+        submit protocol holds), and their replies ride on the raised
+        :class:`_RanksLost` so completed work is not discarded."""
+        replies: dict[int, dict] = {}
+        lost: list[int] = []
+        for rank, sent in pending:
+            try:
+                replies[rank] = self._collect_checked(rank, sent, epoch)
+            except _RanksLost as err:
+                lost.extend(err.ranks)
+        if lost:
+            raise _RanksLost(lost, replies)
+        return replies
+
+    def _forfeit(self, ranks: list[int]) -> None:
+        """Permanently drop ranks from the world: re-shard over the
+        survivors after a full re-sync with codec resets; degrade to
+        serial below the floor."""
+        for rank in ranks:
+            if rank not in self._active:
+                continue
+            self._active.remove(rank)
+            self._log.pop(rank, None)
+            try:
+                if self.transport.alive(rank):
+                    self.transport.kill_rank(rank)
+            except TransportError:
+                pass
+            self.fault_log.append(
+                {
+                    "epoch": getattr(self.engine, "current_epoch", -1),
+                    "rank": rank,
+                    "kind": "forfeit",
+                    "error": "rebuild budget exhausted; rank permanently lost",
+                }
+            )
+            warnings.warn(
+                f"repro.dist: rank {rank} permanently lost after exhausting "
+                f"its rebuild budget; re-sharding over "
+                f"{len(self._active)} surviving rank(s)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        self._need_sync = True
+        self._pending_codec_reset = True
+        if len(self._active) < max(self.min_workers, 2):
+            self._serial = True
+            warnings.warn(
+                f"repro.dist: active world size {len(self._active)} fell "
+                f"below min_workers={self.min_workers}; degrading to serial "
+                "single-process training",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     # ------------------------------------------------------------------
     # Sync + helpers.
@@ -280,11 +594,31 @@ class DataParallelStrategy(PhaseStrategy):
 
     def _sync_replicas(self, epoch: int, lrs: dict) -> None:
         state = sync_state(self.engine)
-        self.transport.broadcast({"op": "sync", "state": state, "lrs": lrs})
-        self.comm.record_sync(epoch, state_nbytes(state) * (self.workers - 1))
+        reset = self._pending_codec_reset
+        if reset:
+            self.codec.reset()  # rank 0's residual accounting too
+        # The boundary is retained *before* the broadcast and the logs
+        # cleared with it, so a fault during the sync itself rebuilds
+        # from exactly this state with an empty replay log.
+        self._boundary = (state, lrs)
+        pending = []
+        for rank in self._active[1:]:
+            self._log[rank] = []
+            pending.append(
+                (
+                    rank,
+                    self._submit(
+                        rank,
+                        {"op": "sync", "state": state, "lrs": lrs, "reset_codec": reset},
+                    ),
+                )
+            )
+        self._collect_all(pending, epoch)
+        self.comm.record_sync(epoch, state_nbytes(state) * len(pending))
         self._need_sync = False
         self._drifted = False
         self._predictor_stale = False
+        self._pending_codec_reset = False
 
     # ------------------------------------------------------------------
     # BP/WARMUP: shard → forward_backward → all-reduce → step everywhere.
@@ -295,23 +629,30 @@ class DataParallelStrategy(PhaseStrategy):
         lrs = self._lrs()
         if self._need_sync or (self._drifted and self.resync == "phase"):
             self._sync_replicas(epoch, lrs)
+        ranks = list(self._active)
         n = len(inputs)
-        sizes = shard_sizes(n, self.workers)
-        offsets = [sum(sizes[:rank]) for rank in range(self.workers)]
-        for rank in range(1, self.workers):
-            if sizes[rank] == 0:
+        sizes = shard_sizes(n, len(ranks))
+        offsets = [sum(sizes[:i]) for i in range(len(ranks))]
+        pending = []
+        for i in range(1, len(ranks)):
+            if sizes[i] == 0:
                 continue
-            cut = slice(offsets[rank], offsets[rank] + sizes[rank])
-            self.transport.submit(
-                rank,
-                {
-                    "op": "compute",
-                    "inputs": inputs[cut],
-                    "targets": targets[cut],
-                    "phase": phase,
-                    "scale": sizes[rank] / n,
-                    "lrs": lrs,
-                },
+            cut = slice(offsets[i], offsets[i] + sizes[i])
+            pending.append(
+                (
+                    ranks[i],
+                    self._submit(
+                        ranks[i],
+                        {
+                            "op": "compute",
+                            "inputs": inputs[cut],
+                            "targets": targets[cut],
+                            "phase": phase,
+                            "scale": sizes[i] / n,
+                            "lrs": lrs,
+                        },
+                    ),
+                )
             )
         # Rank 0's shard runs in-process while worker ranks compute.
         with self._scope(inner):
@@ -334,21 +675,40 @@ class DataParallelStrategy(PhaseStrategy):
                 "mape": local.predictor_mape,
             }
         }
-        for rank in range(1, self.workers):
-            if sizes[rank] > 0:
-                replies[rank] = self.transport.collect(rank)
+        # A forfeit here aborts the batch (gradient must cover the whole
+        # batch): _RanksLost propagates and train_batch re-runs it.
+        replies.update(self._collect_all(pending, epoch))
+        for rank, sent in pending:
+            self._log[rank].append(sent)
         # Rank-ordered decode+sum — the same kernel every worker runs in
         # its apply step, so all ranks install bitwise-equal gradients.
         encs_by_rank = [
-            replies[rank]["enc"] if rank in replies else None
-            for rank in range(self.workers)
+            replies[rank]["enc"] if rank in replies else None for rank in ranks
         ]
         for index, param in enumerate(params):
             param.grad = decode_sum(
                 [encs[index] if encs is not None else None for encs in encs_by_rank]
             )
         engine.optimizer.step()
-        self.transport.broadcast({"op": "apply", "encs": encs_by_rank, "lrs": lrs})
+        apply_pending = [
+            (
+                rank,
+                self._submit(rank, {"op": "apply", "encs": encs_by_rank, "lrs": lrs}),
+            )
+            for rank in ranks[1:]
+        ]
+        try:
+            self._collect_all(apply_pending, epoch)
+            for rank, sent in apply_pending:
+                self._log[rank].append(sent)
+        except _RanksLost as err:
+            # Every survivor already applied (its ack was collected or
+            # drained) and rank 0 stepped: the batch is complete.
+            # Forfeit the dead without re-running.
+            self._forfeit(err.ranks)
+            for rank, sent in apply_pending:
+                if rank in self._active:
+                    self._log[rank].append(sent)
         self._account_grads(epoch, encs_by_rank)
         if engine.predictor is not None:
             self._predictor_stale = True
@@ -358,17 +718,17 @@ class DataParallelStrategy(PhaseStrategy):
         """Wire accounting: worker uplinks + the apply fan-out carrying
         every rank's payload to every worker."""
         wire_up = dense_up = wire_all = dense_all = 0
-        for rank, encs in enumerate(encs_by_rank):
+        for position, encs in enumerate(encs_by_rank):
             if encs is None:
                 continue
             wire = sum(enc.wire_bytes for enc in encs if enc is not None)
             dense = sum(enc.dense_bytes for enc in encs if enc is not None)
             wire_all += wire
             dense_all += dense
-            if rank > 0:
+            if position > 0:
                 wire_up += wire
                 dense_up += dense
-        fan_out = self.workers - 1
+        fan_out = len(self._active) - 1
         self.comm.record_grads(
             epoch,
             wire_up + fan_out * wire_all,
@@ -425,29 +785,48 @@ class DataParallelStrategy(PhaseStrategy):
             # BP→GP boundary (or initial/invalidate) sync; consecutive
             # GP batches never sync — they stay comm-free by design.
             self._sync_replicas(epoch, lrs)
+        ranks = list(self._active)
         n = len(inputs)
-        sizes = shard_sizes(n, self.workers)
-        offsets = [sum(sizes[:rank]) for rank in range(self.workers)]
-        for rank in range(1, self.workers):
-            if sizes[rank] == 0:
+        sizes = shard_sizes(n, len(ranks))
+        offsets = [sum(sizes[:i]) for i in range(len(ranks))]
+        pending = []
+        for i in range(1, len(ranks)):
+            if sizes[i] == 0:
                 continue
-            cut = slice(offsets[rank], offsets[rank] + sizes[rank])
-            self.transport.submit(
-                rank,
-                {
-                    "op": "gp",
-                    "inputs": inputs[cut],
-                    "targets": targets[cut],
-                    "lrs": lrs,
-                },
+            cut = slice(offsets[i], offsets[i] + sizes[i])
+            pending.append(
+                (
+                    ranks[i],
+                    self._submit(
+                        ranks[i],
+                        {
+                            "op": "gp",
+                            "inputs": inputs[cut],
+                            "targets": targets[cut],
+                            "lrs": lrs,
+                        },
+                    ),
+                )
             )
         with self._scope(inner):
             local = inner.train_batch(inputs[: sizes[0]], targets[: sizes[0]], Phase.GP)
         engine.model.clear_caches()
         replies = {0: {"loss": local.loss, "n": sizes[0]}}
-        for rank in range(1, self.workers):
-            if sizes[rank] > 0:
-                replies[rank] = self.transport.collect(rank)
+        try:
+            replies.update(self._collect_all(pending, epoch))
+            for rank, sent in pending:
+                self._log[rank].append(sent)
+        except _RanksLost as err:
+            # GP shard results are replica-local by design (the
+            # trajectory is rank 0's alone; replica drift is overwritten
+            # at the next boundary) — keep the survivors' work and merge
+            # what arrived instead of double-applying rank 0's update.
+            replies.update(err.replies)
+            self._forfeit(err.ranks)
+            for rank, sent in pending:
+                if rank in self._active:
+                    self._log[rank].append(sent)
+            n = sum(reply["n"] for reply in replies.values())
         self._drifted = True
         self.comm.record_gp(epoch)
         return self._merge_results(replies, Phase.GP, n)

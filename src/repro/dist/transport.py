@@ -24,11 +24,42 @@ one :meth:`collect` on the same rank, and :meth:`broadcast` pairs the
 two for all ranks at once.  The data-parallel strategy alternates
 submit-all / collect-all per batch, which keeps the pipes deadlock-free
 by construction (no rank ever holds two outstanding commands).
+
+Fault model (PR 9).  The fabric is no longer assumed perfect:
+
+* Every :class:`ProcessTransport` payload is **CRC32-framed**
+  (:func:`frame_payload` / :func:`unframe_payload`), so a corrupted
+  pipe read surfaces as :class:`PayloadCorrupt` instead of an unpickle
+  crash — and :class:`~repro.dist.faults.ChaosTransport` can corrupt
+  real frame bytes to prove the detection path end to end.
+* :meth:`ProcessTransport.collect` polls the pipe under a **deadline**
+  (default finite — no blocking path can hang forever) and heartbeats
+  ``Process.is_alive()`` between polls, raising :class:`WorkerTimeout`
+  or :class:`WorkerDied` instead of blocking on a hung or dead rank.
+* :meth:`close` escalates join → terminate → kill, is idempotent, and
+  every started :class:`ProcessTransport` registers with an ``atexit``
+  guard — an exception mid-fit can no longer leak worker processes.
+* :meth:`kill_rank` / :meth:`respawn_rank` / :meth:`alive` give the
+  recovery layer (and the chaos injector) explicit rank lifecycle
+  control; respawn rebuilds the rank from the factory captured at
+  :meth:`start`, so a rebuilt replica's construction path is identical
+  to the original's.
+
+Transports resolve through a **registry** (:func:`register_transport`),
+so new fabrics — including the fault-injection wrapper in
+:mod:`repro.dist.faults` — compose by name exactly like
+``repro.nn.backend`` substrates.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
+import pickle
+import struct
+import time
+import weakref
+import zlib
 from typing import Callable, Iterable, Optional
 
 import numpy as np
@@ -36,6 +67,80 @@ import numpy as np
 from .codec import _ordered_sum
 
 WorkerFactory = Callable[[int], object]
+
+
+# ----------------------------------------------------------------------
+# Fault taxonomy.
+# ----------------------------------------------------------------------
+class TransportError(RuntimeError):
+    """Base of every transport-fabric failure; carries the rank."""
+
+    def __init__(self, message: str, rank: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.rank = rank
+
+
+class WorkerDied(TransportError):
+    """The worker process behind a rank is gone (crash, kill, EOF)."""
+
+
+class WorkerTimeout(TransportError):
+    """No reply inside the collect deadline; the worker may be hung,
+    slow, or its reply may have been dropped."""
+
+
+class WorkerError(TransportError):
+    """The worker's command handler raised — a deterministic
+    application error relayed intact, not a fabric fault (retrying
+    would reproduce it)."""
+
+
+class PayloadCorrupt(TransportError):
+    """A framed payload failed its CRC32 check (or could not be
+    unpickled): the bytes on the wire are not the bytes that were
+    sent."""
+
+
+# ----------------------------------------------------------------------
+# CRC32 wire framing.
+# ----------------------------------------------------------------------
+#: Frame layout: magic, CRC32 of the pickled body, body length, body.
+FRAME_MAGIC = b"RDF1"
+_FRAME_HEADER = struct.Struct("<4sII")
+
+
+def frame_payload(obj: object) -> bytes:
+    """Pickle ``obj`` into a CRC32-framed byte string."""
+    body = pickle.dumps(obj)
+    return _FRAME_HEADER.pack(FRAME_MAGIC, zlib.crc32(body), len(body)) + body
+
+
+def unframe_payload(data: bytes, rank: Optional[int] = None) -> object:
+    """Verify and unpickle a :func:`frame_payload` byte string.
+
+    Raises :class:`PayloadCorrupt` on a bad magic, a truncated body, a
+    CRC mismatch, or an unpicklable body — every way wire bytes can
+    differ from sent bytes maps to the one named error the recovery
+    policy handles.
+    """
+    if len(data) < _FRAME_HEADER.size:
+        raise PayloadCorrupt(
+            f"frame truncated to {len(data)} bytes", rank=rank
+        )
+    magic, crc, size = _FRAME_HEADER.unpack_from(data)
+    body = data[_FRAME_HEADER.size:]
+    if magic != FRAME_MAGIC:
+        raise PayloadCorrupt(f"bad frame magic {magic!r}", rank=rank)
+    if len(body) != size:
+        raise PayloadCorrupt(
+            f"frame body {len(body)} bytes, header promised {size}", rank=rank
+        )
+    if zlib.crc32(body) != crc:
+        raise PayloadCorrupt("frame CRC32 mismatch", rank=rank)
+    try:
+        return pickle.loads(body)
+    except Exception as err:
+        raise PayloadCorrupt(f"frame unpickle failed: {err}", rank=rank) from err
 
 
 class Transport:
@@ -59,16 +164,22 @@ class Transport:
         """Send one command to ``rank``; owes exactly one :meth:`collect`."""
         raise NotImplementedError
 
-    def collect(self, rank: int) -> dict:
-        """Receive the reply to the oldest outstanding command on ``rank``."""
+    def collect(self, rank: int, timeout: Optional[float] = None) -> dict:
+        """Receive the reply to the oldest outstanding command on ``rank``.
+
+        ``timeout`` bounds the wait where the fabric can actually block
+        (``None`` means the transport's own default deadline — never
+        forever); raises :class:`WorkerTimeout` past the deadline and
+        :class:`WorkerDied` when the rank is gone.
+        """
         raise NotImplementedError
 
-    def broadcast(self, cmd: dict) -> list[dict]:
+    def broadcast(self, cmd: dict, timeout: Optional[float] = None) -> list[dict]:
         """Submit ``cmd`` to every worker rank, collect every reply
         (rank order).  Returns the replies for ranks ``1..W-1``."""
         for rank in self.worker_ranks:
             self.submit(rank, cmd)
-        return [self.collect(rank) for rank in self.worker_ranks]
+        return [self.collect(rank, timeout=timeout) for rank in self.worker_ranks]
 
     def barrier(self) -> None:
         """Block until every worker rank has drained its queue and
@@ -88,9 +199,31 @@ class Transport:
         """
         return _ordered_sum(contributions)
 
+    # Rank lifecycle (the recovery layer's hooks).
+    def alive(self, rank: int) -> bool:
+        """Whether ``rank`` is still able to serve commands."""
+        raise NotImplementedError
+
+    def kill_rank(self, rank: int) -> None:
+        """Forcibly take ``rank`` down (hung-worker escalation, chaos
+        injection); outstanding replies are lost."""
+        raise NotImplementedError
+
+    def respawn_rank(self, rank: int) -> None:
+        """Rebuild ``rank`` from the factory captured at :meth:`start` —
+        the same construction path as the original, so a respawned
+        replica is deterministic."""
+        raise NotImplementedError
+
     def close(self) -> None:
         """Shut every worker down; idempotent."""
         raise NotImplementedError
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 class LocalTransport(Transport):
@@ -99,120 +232,320 @@ class LocalTransport(Transport):
     Execution order is rank-sequential rather than concurrent, but each
     rank's computation depends only on its own shard and replica state,
     so results match :class:`ProcessTransport` bitwise.
+
+    Fault semantics mirror the process fabric's so chaos tests are
+    transport-agnostic: a killed rank raises :class:`WorkerDied` on
+    submit and collect until :meth:`respawn_rank`, and a worker whose
+    ``handle`` raises replies with a relayed fault record instead of
+    blowing up the driver mid-protocol (same as a process worker).
     """
 
     def __init__(self, world_size: int) -> None:
         super().__init__(world_size)
         self._workers: dict[int, object] = {}
         self._replies: dict[int, list[dict]] = {}
+        self._dead: set[int] = set()
+        self._factory: Optional[WorkerFactory] = None
 
     def start(self, factory: WorkerFactory) -> None:
         if self.started:
             return
+        self._factory = factory
         for rank in self.worker_ranks:
             self._workers[rank] = factory(rank)
             self._replies[rank] = []
         self.started = True
 
     def submit(self, rank: int, cmd: dict) -> None:
-        self._replies[rank].append(self._workers[rank].handle(cmd))
+        if rank in self._dead:
+            raise WorkerDied(f"rank {rank} was killed", rank=rank)
+        try:
+            reply = self._workers[rank].handle(cmd)
+        except Exception as err:  # relay, like a process worker would
+            reply = _fault_reply(rank, cmd, err)
+        self._replies[rank].append(reply)
 
-    def collect(self, rank: int) -> dict:
+    def collect(self, rank: int, timeout: Optional[float] = None) -> dict:
+        if rank in self._dead:
+            raise WorkerDied(f"rank {rank} was killed", rank=rank)
+        if not self._replies[rank]:
+            raise WorkerTimeout(f"rank {rank} has no outstanding reply", rank=rank)
         return self._replies[rank].pop(0)
+
+    def alive(self, rank: int) -> bool:
+        return rank not in self._dead and rank in self._workers
+
+    def kill_rank(self, rank: int) -> None:
+        self._workers.pop(rank, None)
+        self._replies[rank] = []
+        self._dead.add(rank)
+
+    def respawn_rank(self, rank: int) -> None:
+        if self._factory is None:
+            raise TransportError("transport was never started", rank=rank)
+        self._workers[rank] = self._factory(rank)
+        self._replies[rank] = []
+        self._dead.discard(rank)
 
     def close(self) -> None:
         self._workers.clear()
         self._replies.clear()
+        self._dead.clear()
         self.started = False
 
 
+def _fault_reply(rank: int, cmd: dict, err: BaseException) -> dict:
+    """The relayed-error reply a worker sends when its handler raises —
+    deterministic application failures cross the wire as data, so the
+    driver can distinguish them from fabric faults (no point retrying)."""
+    reply = {
+        "fault": "worker_error",
+        "rank": rank,
+        "error": f"{type(err).__name__}: {err}",
+    }
+    if isinstance(cmd, dict) and "seq" in cmd:
+        reply["seq"] = cmd["seq"]
+    return reply
+
+
 def _process_worker_main(conn, rank: int, factory: WorkerFactory) -> None:
-    """Child-process loop: build the replica, then serve the pipe until
-    a ``close`` command arrives (acknowledged before exit)."""
+    """Child-process loop: build the replica, then serve CRC-framed
+    commands until a ``close`` arrives (acknowledged before exit) or the
+    driver disappears (EOF on the pipe — exit quietly, never linger)."""
     worker = factory(rank)
     while True:
-        cmd = conn.recv()
-        conn.send(worker.handle(cmd))
+        try:
+            data = conn.recv_bytes()
+        except (EOFError, OSError):  # driver gone; daemonic belt+braces
+            break
+        try:
+            cmd = unframe_payload(data, rank=rank)
+        except PayloadCorrupt as err:
+            conn.send_bytes(
+                frame_payload(
+                    {"fault": "payload_corrupt", "rank": rank, "error": str(err)}
+                )
+            )
+            continue
+        try:
+            reply = worker.handle(cmd)
+        except Exception as err:
+            reply = _fault_reply(rank, cmd, err)
+        conn.send_bytes(frame_payload(reply))
         if cmd.get("op") == "close":
             break
     conn.close()
 
 
+#: Started process transports, closed by the atexit guard below so a
+#: crashed driver (or a test that forgot ``close``) never leaks workers.
+_LIVE_TRANSPORTS: "weakref.WeakSet[ProcessTransport]" = weakref.WeakSet()
+
+
+def _close_live_transports() -> None:  # pragma: no cover - atexit path
+    for transport in list(_LIVE_TRANSPORTS):
+        try:
+            transport.close()
+        except Exception:
+            pass
+
+
+atexit.register(_close_live_transports)
+
+
 class ProcessTransport(Transport):
     """One OS process + pipe per worker rank (``multiprocessing``).
 
-    Workers are daemonic, so a crashed driver cannot leak them.  The
-    factory and every command/reply crosses the pipe via pickle; numpy
-    arrays pickle to their raw buffers, so gradient payloads cost their
-    ``wire_bytes``, not a text encoding.
+    Workers are daemonic, so a crashed driver cannot leak them; started
+    transports additionally register with an ``atexit`` guard that
+    closes them (join → terminate → kill) on interpreter exit.  The
+    factory and every command/reply crosses the pipe CRC32-framed via
+    pickle; numpy arrays pickle to their raw buffers, so gradient
+    payloads cost their ``wire_bytes``, not a text encoding.
+
+    Parameters
+    ----------
+    timeout:
+        Default :meth:`collect` deadline in seconds.  Finite by design:
+        with a dead or hung rank, *every* blocking path must surface a
+        :class:`WorkerTimeout`/:class:`WorkerDied` rather than block the
+        fit loop forever.
+    heartbeat:
+        Liveness-poll interval inside :meth:`collect`: between pipe
+        polls the worker process is checked with ``is_alive()``, so a
+        crashed rank raises :class:`WorkerDied` within one heartbeat
+        instead of burning the whole deadline.
     """
 
-    def __init__(self, world_size: int) -> None:
+    def __init__(
+        self,
+        world_size: int,
+        timeout: float = 60.0,
+        heartbeat: float = 0.05,
+    ) -> None:
         super().__init__(world_size)
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.timeout = float(timeout)
+        self.heartbeat = float(heartbeat)
         self._procs: dict[int, mp.Process] = {}
         self._conns: dict[int, object] = {}
+        self._factory: Optional[WorkerFactory] = None
 
     def start(self, factory: WorkerFactory) -> None:
         if self.started:
             return
+        self._factory = factory
         for rank in self.worker_ranks:
-            parent, child = mp.Pipe()
-            proc = mp.Process(
-                target=_process_worker_main,
-                args=(child, rank, factory),
-                daemon=True,
-                name=f"repro-dist-rank{rank}",
-            )
-            proc.start()
-            child.close()
-            self._procs[rank] = proc
-            self._conns[rank] = parent
+            self._spawn(rank)
         self.started = True
+        _LIVE_TRANSPORTS.add(self)
+
+    def _spawn(self, rank: int) -> None:
+        parent, child = mp.Pipe()
+        proc = mp.Process(
+            target=_process_worker_main,
+            args=(child, rank, self._factory),
+            daemon=True,
+            name=f"repro-dist-rank{rank}",
+        )
+        proc.start()
+        child.close()
+        self._procs[rank] = proc
+        self._conns[rank] = parent
 
     def submit(self, rank: int, cmd: dict) -> None:
-        self._conns[rank].send(cmd)
+        try:
+            self._conns[rank].send_bytes(frame_payload(cmd))
+        except (BrokenPipeError, OSError) as err:
+            raise WorkerDied(f"rank {rank} pipe is down: {err}", rank=rank) from err
 
-    def collect(self, rank: int) -> dict:
-        return self._conns[rank].recv()
+    def collect(self, rank: int, timeout: Optional[float] = None) -> dict:
+        """Poll-with-heartbeat until a framed reply, the deadline, or
+        evidence of death — whichever comes first."""
+        conn = self._conns[rank]
+        proc = self._procs[rank]
+        deadline = time.monotonic() + (self.timeout if timeout is None else timeout)
+        while True:
+            remaining = deadline - time.monotonic()
+            interval = max(0.0, min(self.heartbeat, remaining))
+            try:
+                if conn.poll(interval):
+                    return unframe_payload(conn.recv_bytes(), rank=rank)
+            except (EOFError, OSError) as err:
+                raise WorkerDied(
+                    f"rank {rank} closed its pipe: {err}", rank=rank
+                ) from err
+            if not proc.is_alive():
+                # A reply can outlive its sender in the pipe buffer;
+                # only an *empty* pipe plus a dead process is death.
+                if conn.poll(0):
+                    return unframe_payload(conn.recv_bytes(), rank=rank)
+                raise WorkerDied(
+                    f"rank {rank} process died (exitcode {proc.exitcode})",
+                    rank=rank,
+                )
+            if remaining <= 0:
+                raise WorkerTimeout(
+                    f"rank {rank}: no reply within {self.timeout if timeout is None else timeout:.3g}s",
+                    rank=rank,
+                )
 
-    def close(self) -> None:
+    def alive(self, rank: int) -> bool:
+        proc = self._procs.get(rank)
+        return proc is not None and proc.is_alive()
+
+    def kill_rank(self, rank: int) -> None:
+        proc = self._procs.get(rank)
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5)
+
+    def respawn_rank(self, rank: int) -> None:
+        if self._factory is None:
+            raise TransportError("transport was never started", rank=rank)
+        self.kill_rank(rank)
+        old = self._conns.pop(rank, None)
+        if old is not None:
+            old.close()
+        self._spawn(rank)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Escalating shutdown: polite close → join(timeout) → terminate
+        → kill.  Never blocks unboundedly (a worker hung inside its
+        handler cannot zombify the driver) and never leaves a live
+        child behind; idempotent."""
         if not self.started:
             return
         for rank, conn in self._conns.items():
             try:
-                conn.send({"op": "close"})
-                conn.recv()
+                conn.send_bytes(frame_payload({"op": "close"}))
+                # Bounded ack wait: a hung worker never answers.
+                if conn.poll(timeout):
+                    conn.recv_bytes()
             except (BrokenPipeError, EOFError, OSError):
                 pass
             conn.close()
         for proc in self._procs.values():
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - hung worker backstop
+            proc.join(timeout=timeout)
+            if proc.is_alive():
                 proc.terminate()
+                proc.join(timeout=timeout)
+            if proc.is_alive():  # pragma: no cover - kill-resistant worker
+                proc.kill()
+                proc.join(timeout=timeout)
         self._procs.clear()
         self._conns.clear()
         self.started = False
+        _LIVE_TRANSPORTS.discard(self)
+
+
+# ----------------------------------------------------------------------
+# Registry.
+# ----------------------------------------------------------------------
+#: name -> factory(world_size) -> Transport.  New fabrics (e.g. the
+#: chaos wrapper in ``repro.dist.faults``) register here and become
+#: usable anywhere a transport spec is accepted, like nn backends.
+_TRANSPORTS: dict[str, Callable[[int], Transport]] = {}
+
+
+def register_transport(name: str, factory: Callable[[int], Transport]) -> None:
+    """Register a transport under ``name`` for :func:`resolve_transport`."""
+    _TRANSPORTS[name] = factory
+
+
+def list_transports() -> list[str]:
+    """Sorted names of every registered transport."""
+    return sorted(_TRANSPORTS)
+
+
+register_transport("local", LocalTransport)
+register_transport("process", ProcessTransport)
 
 
 def resolve_transport(spec, world_size: int) -> Transport:
-    """Resolve a transport spec: ``"local"``/``"process"``, a
-    :class:`Transport` instance (world size must match), or ``None``
-    (local)."""
+    """Resolve a transport spec: a registered name (``"local"``,
+    ``"process"``, ...), a :class:`Transport` instance (world size must
+    match; instances built world-size-late — the chaos wrapper — are
+    bound here), or ``None`` (local)."""
     if spec is None:
         return LocalTransport(world_size)
     if isinstance(spec, Transport):
+        if getattr(spec, "world_size", None) is None and hasattr(
+            spec, "bind_world"
+        ):
+            spec.bind_world(world_size)
         if spec.world_size != world_size:
             raise ValueError(
                 f"transport world_size {spec.world_size} != workers {world_size}"
             )
         return spec
     if isinstance(spec, str):
-        if spec == "local":
-            return LocalTransport(world_size)
-        if spec == "process":
-            return ProcessTransport(world_size)
-        raise ValueError(
-            f"unknown transport {spec!r}; expected 'local', 'process', "
-            "or a Transport instance"
-        )
+        factory = _TRANSPORTS.get(spec)
+        if factory is None:
+            raise ValueError(
+                f"unknown transport {spec!r}; expected one of "
+                f"{list_transports()} or a Transport instance"
+            )
+        return factory(world_size)
     raise TypeError(f"cannot resolve transport from {type(spec).__name__}")

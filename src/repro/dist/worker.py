@@ -114,6 +114,14 @@ class DistWorker:
     # Command dispatch.
     # ------------------------------------------------------------------
     def handle(self, cmd: dict) -> dict:
+        reply = self._dispatch(cmd)
+        if "seq" in cmd:
+            # Echo the driver's per-rank sequence number so stale
+            # duplicate replies (at-least-once delivery) are detectable.
+            reply["seq"] = cmd["seq"]
+        return reply
+
+    def _dispatch(self, cmd: dict) -> dict:
         op = cmd.get("op")
         if op == "compute":
             return self._compute(cmd)
@@ -148,6 +156,11 @@ class DistWorker:
     def _sync(self, cmd: dict) -> dict:
         load_sync_state(self.engine, cmd["state"])
         self._set_lrs(cmd.get("lrs"))
+        if cmd.get("reset_codec"):
+            # Recovery re-syncs drop codec residuals so the rebuilt
+            # rank's error-feedback state is deterministic (it is then
+            # regenerated by replaying the accepted-command log).
+            self.codec.reset()
         return {"ok": True, "rank": self.rank}
 
     def _compute(self, cmd: dict) -> dict:

@@ -8,6 +8,7 @@ import pytest
 
 from repro.analysis.lint import (
     all_rules,
+    iter_source_files,
     lint_paths,
     lint_source,
     load_baseline,
@@ -288,6 +289,20 @@ class TestFramework:
 
     def test_missing_baseline_is_empty(self, tmp_path):
         assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_scope_covers_fault_tolerance_modules(self):
+        """The recovery layer (chaos injector, transport, strategy) sits
+        inside the linter's enforcement surface — fault-handling code is
+        exactly where rng/backend discipline slips would hide."""
+        import pathlib
+
+        import repro
+
+        root = pathlib.Path(repro.__file__).resolve().parents[2]
+        files = {p.relative_to(root).as_posix() for p in iter_source_files(root)}
+        assert "src/repro/dist/faults.py" in files
+        assert "src/repro/dist/transport.py" in files
+        assert "src/repro/dist/strategy.py" in files
 
     def test_repo_is_clean(self):
         """The enforced contract: src/ has no non-baselined findings."""

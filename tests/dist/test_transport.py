@@ -1,14 +1,27 @@
 """Transport substrate tests: request/reply protocol, rank-ordered
-allreduce determinism, and Local/Process interchangeability."""
+allreduce determinism, Local/Process interchangeability, and the fault
+surface (framing, deadlines, death detection, lifecycle hardening)."""
+
+import multiprocessing as mp
+import os
+import time
 
 import numpy as np
 import pytest
 
 from repro.dist import (
     LocalTransport,
+    PayloadCorrupt,
     ProcessTransport,
     Transport,
+    WorkerDied,
+    WorkerTimeout,
+    corrupt_frame,
+    frame_payload,
+    list_transports,
+    register_transport,
     resolve_transport,
+    unframe_payload,
 )
 
 RNG = np.random.default_rng(13)
@@ -33,8 +46,30 @@ class ArithmeticWorker:
         return {"ok": True, "rank": self.rank}
 
 
+class MisbehavingWorker:
+    """Picklable worker with every way to go wrong on demand."""
+
+    def __init__(self, rank):
+        self.rank = rank
+
+    def handle(self, cmd):
+        op = cmd.get("op")
+        if op == "boom":
+            raise ValueError("intentional failure")
+        if op == "sleep":
+            time.sleep(cmd["seconds"])
+            return {"rank": self.rank, "slept": cmd["seconds"]}
+        if op == "exit":  # hard death: no reply, no cleanup
+            os._exit(3)
+        return {"ok": True, "rank": self.rank}
+
+
 def _factory(rank):
     return ArithmeticWorker(rank)
+
+
+def _misbehaving_factory(rank):
+    return MisbehavingWorker(rank)
 
 
 @pytest.fixture(params=["local", "process"])
@@ -130,6 +165,176 @@ class TestResolveTransport:
             resolve_transport(3.5, 2)
         with pytest.raises(ValueError):
             Transport(0)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"op": "add", "array": RNG.standard_normal(16).astype(np.float32)}
+        decoded = unframe_payload(frame_payload(payload))
+        assert decoded["op"] == "add"
+        assert decoded["array"].tobytes() == payload["array"].tobytes()
+
+    def test_flipped_byte_fails_crc(self):
+        with pytest.raises(PayloadCorrupt, match="CRC32"):
+            unframe_payload(corrupt_frame(frame_payload({"op": "x"})))
+
+    def test_bad_magic(self):
+        frame = frame_payload({"op": "x"})
+        with pytest.raises(PayloadCorrupt, match="magic"):
+            unframe_payload(b"NOPE" + frame[4:])
+
+    def test_truncation(self):
+        frame = frame_payload({"op": "x"})
+        with pytest.raises(PayloadCorrupt, match="truncated"):
+            unframe_payload(frame[:6])
+        with pytest.raises(PayloadCorrupt, match="promised"):
+            unframe_payload(frame[:-3])
+
+    def test_error_carries_rank(self):
+        with pytest.raises(PayloadCorrupt) as info:
+            unframe_payload(b"", rank=2)
+        assert info.value.rank == 2
+
+
+class TestWorkerErrorRelay:
+    @pytest.mark.parametrize("name", ["local", "process"])
+    def test_handler_exception_becomes_fault_reply(self, name):
+        with resolve_transport(name, 2) as t:
+            t.start(_misbehaving_factory)
+            t.submit(1, {"op": "boom", "seq": 7})
+            reply = t.collect(1)
+        assert reply["fault"] == "worker_error"
+        assert "intentional failure" in reply["error"]
+        assert reply["seq"] == 7  # the strategy needs it to pair the reply
+
+    def test_worker_survives_its_own_error(self):
+        with resolve_transport("process", 2) as t:
+            t.start(_misbehaving_factory)
+            t.submit(1, {"op": "boom"})
+            assert t.collect(1)["fault"] == "worker_error"
+            t.submit(1, {"op": "ping"})
+            assert t.collect(1)["ok"]
+
+
+class TestDeadlinesAndDeath:
+    def test_local_collect_without_reply_times_out(self):
+        with LocalTransport(2) as t:
+            t.start(_factory)
+            with pytest.raises(WorkerTimeout):
+                t.collect(1)
+
+    def test_local_killed_rank_raises_on_both_sides(self):
+        with LocalTransport(2) as t:
+            t.start(_factory)
+            t.kill_rank(1)
+            assert not t.alive(1)
+            with pytest.raises(WorkerDied):
+                t.submit(1, {"op": "ping"})
+            with pytest.raises(WorkerDied):
+                t.collect(1)
+            t.respawn_rank(1)
+            t.submit(1, {"op": "add", "value": 1})
+            assert t.collect(1)["value"] == 2
+
+    def test_process_collect_deadline_is_bounded(self):
+        with ProcessTransport(2, timeout=0.2) as t:
+            t.start(_misbehaving_factory)
+            t.submit(1, {"op": "sleep", "seconds": 30})
+            started = time.monotonic()
+            with pytest.raises(WorkerTimeout):
+                t.collect(1)
+            assert time.monotonic() - started < 5.0
+            t.close(timeout=0.5)  # escalation handles the still-busy rank
+
+    def test_process_delayed_reply_collected_on_retry(self):
+        with ProcessTransport(2) as t:
+            t.start(_misbehaving_factory)
+            t.submit(1, {"op": "sleep", "seconds": 0.5})
+            with pytest.raises(WorkerTimeout):
+                t.collect(1, timeout=0.05)
+            assert t.collect(1, timeout=30)["slept"] == 0.5
+
+    def test_process_hard_death_detected_within_heartbeats(self):
+        with ProcessTransport(2) as t:
+            t.start(_misbehaving_factory)
+            t.submit(1, {"op": "exit"})
+            started = time.monotonic()
+            with pytest.raises(WorkerDied):
+                t.collect(1)
+            assert time.monotonic() - started < 30.0  # not the full deadline
+            t._procs[1].join(timeout=5)  # EOF beats the reaper; settle it
+            assert not t.alive(1)
+
+    def test_process_kill_respawn_round_trip(self):
+        with ProcessTransport(2) as t:
+            t.start(_factory)
+            t.kill_rank(1)
+            assert not t.alive(1)
+            with pytest.raises(WorkerDied):
+                t.submit(1, {"op": "ping"})
+                t.collect(1)
+            t.respawn_rank(1)
+            assert t.alive(1)
+            t.submit(1, {"op": "add", "value": 5})
+            assert t.collect(1)["value"] == 6
+
+    def test_process_worker_reports_corrupt_command(self):
+        with ProcessTransport(2) as t:
+            t.start(_factory)
+            # Garbage straight onto the pipe: the worker must answer with
+            # a typed fault record, not crash or hang.
+            t._conns[1].send_bytes(b"this is not a frame")
+            reply = t.collect(1)
+            assert reply["fault"] == "payload_corrupt"
+            t.submit(1, {"op": "ping"})
+            assert t.collect(1)["ok"]  # still serving
+
+
+class TestLifecycle:
+    def test_close_escalation_reaps_hung_worker(self):
+        t = ProcessTransport(2)
+        t.start(_misbehaving_factory)
+        proc = t._procs[1]
+        t.submit(1, {"op": "sleep", "seconds": 60})
+        started = time.monotonic()
+        t.close(timeout=0.5)
+        assert time.monotonic() - started < 10.0
+        assert not proc.is_alive()
+        assert not t.started
+
+    def test_no_children_leak_after_exception(self):
+        with pytest.raises(RuntimeError, match="mid-fit crash"):
+            with ProcessTransport(2) as t:
+                t.start(_factory)
+                raise RuntimeError("mid-fit crash")
+        leftovers = [
+            p for p in mp.active_children() if p.name.startswith("repro-dist-rank")
+        ]
+        assert leftovers == []
+
+    def test_double_close_after_failure_is_safe(self):
+        t = ProcessTransport(2)
+        t.start(_factory)
+        t.kill_rank(1)
+        t.close()
+        t.close()
+        assert not t.started
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = list_transports()
+        assert {"local", "process", "chaos"} <= set(names)
+
+    def test_custom_transport_resolves_by_name(self):
+        register_transport("test-custom", LocalTransport)
+        try:
+            assert isinstance(resolve_transport("test-custom", 2), LocalTransport)
+            assert "test-custom" in list_transports()
+        finally:
+            from repro.dist import transport as transport_module
+
+            transport_module._TRANSPORTS.pop("test-custom", None)
 
 
 class TestLocalProcessEquivalence:

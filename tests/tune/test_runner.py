@@ -1,16 +1,35 @@
-"""Tests for the parallel runner: journal resume, crash isolation."""
+"""Tests for the parallel runner: journal resume, crash isolation, and
+multi-host claimed execution over a shared journal."""
 
 import json
+import multiprocessing as mp
+import time
 
 import pytest
 
 from repro.tune import (
     JOURNAL_VERSION,
     SearchRunner,
+    TrialResult,
     TrialSpec,
     load_journal,
     spec_from_config,
 )
+
+
+def _drive_claimed_runner(journal, owner, spec_dicts, outcome_path):
+    """Child-process entry point for the multi-host claim race (module
+    level so it pickles; one process per "host", like real deployment)."""
+    specs = [TrialSpec.from_dict(d) for d in spec_dicts]
+    runner = SearchRunner(
+        journal=journal, claim=True, lease=30.0, poll_interval=0.01, owner=owner
+    )
+    results = runner.run(specs)
+    outcome_path.write_text(
+        json.dumps(
+            {"executed": runner.executed, "results": [r.to_dict() for r in results]}
+        )
+    )
 
 TINY = dict(
     model="VGG13", dataset="Cifar10", num_train=32, num_val=16,
@@ -182,6 +201,12 @@ class TestParallelRunner:
         with pytest.raises(ValueError):
             SearchRunner(workers=0)
 
+    def test_claim_mode_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="shared journal"):
+            SearchRunner(claim=True)
+        with pytest.raises(ValueError, match="one claiming runner per host"):
+            SearchRunner(claim=True, journal=tmp_path / "j.jsonl", workers=2)
+
     def test_pool_breakage_is_not_journaled(self, tmp_path, monkeypatch):
         """A worker dying (BrokenProcessPool-class failure) fails the
         in-flight trial for this run but must NOT be journaled — a
@@ -220,3 +245,118 @@ class TestParallelRunner:
         resumed = healthy.run(specs)
         assert healthy.executed == 2
         assert all(r.status == "ok" for r in resumed)
+
+
+class TestClaimedRunner:
+    """Multi-host claimed execution: several runners, one shared journal,
+    every trial exactly once, union bit-identical to a serial run."""
+
+    def _runner(self, journal, owner, **overrides):
+        kwargs = dict(journal=journal, claim=True, lease=30.0, poll_interval=0.01)
+        kwargs.update(overrides)
+        return SearchRunner(owner=owner, **kwargs)
+
+    def test_second_runner_adopts_peer_results(self, tmp_path):
+        journal = tmp_path / "search.jsonl"
+        specs = _specs(2)
+        host_a = self._runner(journal, "host-a")
+        results_a = host_a.run(specs)
+        assert host_a.executed == 2
+
+        host_b = self._runner(journal, "host-b")
+        results_b = host_b.run(specs)
+        assert host_b.executed == 0  # everything served from the journal
+        assert [r.deterministic_dict() for r in results_b] == [
+            r.deterministic_dict() for r in results_a
+        ]
+
+    def test_claims_are_recorded_with_owner_and_lease(self, tmp_path):
+        journal = tmp_path / "search.jsonl"
+        runner = self._runner(journal, "host-a")
+        runner.run(_specs(1))
+        claims = journal.with_name(journal.name + ".claims")
+        record = json.loads(claims.read_text().splitlines()[0])
+        assert record["version"] == JOURNAL_VERSION
+        assert record["trial_id"] == "t00"
+        assert record["owner"] == "host-a"
+        assert record["ts"] <= time.time()
+
+    def test_live_claim_is_respected(self, tmp_path):
+        """A trial under a live peer lease is not claimable; the runner
+        must wait for the result instead of double-executing."""
+        journal = tmp_path / "search.jsonl"
+        specs = _specs(1)
+        runner = self._runner(journal, "host-b")
+        claims = journal.with_name(journal.name + ".claims")
+        claims.write_text(
+            json.dumps(
+                {
+                    "version": JOURNAL_VERSION,
+                    "trial_id": "t00",
+                    "owner": "host-a",
+                    "ts": time.time(),
+                }
+            )
+            + "\n"
+        )
+        assert runner._claim_next(specs) is None
+
+    def test_orphaned_claim_is_reclaimed(self, tmp_path):
+        """A claim whose lease expired without a journaled result marks a
+        crashed host; the next runner silently takes the trial over."""
+        journal = tmp_path / "search.jsonl"
+        specs = _specs(1)
+        claims = journal.with_name(journal.name + ".claims")
+        claims.write_text(
+            json.dumps(
+                {
+                    "version": JOURNAL_VERSION,
+                    "trial_id": "t00",
+                    "owner": "host-dead",
+                    "ts": time.time() - 999.0,
+                }
+            )
+            + "\n"
+        )
+        runner = self._runner(journal, "host-b")
+        results = runner.run(specs)
+        assert runner.executed == 1
+        assert results[0].status == "ok"
+        # The reclaim superseded the orphan in the claims ledger.
+        latest = [json.loads(line) for line in claims.read_text().splitlines()][-1]
+        assert latest["owner"] == "host-b"
+
+    def test_two_concurrent_runners_match_serial_bitwise(self, tmp_path):
+        """The acceptance property: two claiming runner *processes* (the
+        deployment unit — trials are not thread-safe by design) racing
+        over one journal execute every trial exactly once between them,
+        and each host's result list is bit-identical to one serial run."""
+        journal = tmp_path / "search.jsonl"
+        specs = _specs(4)
+        serial = SearchRunner().run(specs)
+
+        spec_dicts = [spec.to_dict() for spec in specs]
+        outcomes = [tmp_path / f"host-{i}.json" for i in range(2)]
+        procs = [
+            mp.Process(
+                target=_drive_claimed_runner,
+                args=(journal, f"host-{i}", spec_dicts, outcomes[i]),
+            )
+            for i in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=300)
+        assert all(proc.exitcode == 0 for proc in procs)
+
+        reports = [json.loads(path.read_text()) for path in outcomes]
+        assert sum(report["executed"] for report in reports) == len(specs)
+        assert set(load_journal(journal)) == {spec.trial_id for spec in specs}
+        expected = [r.deterministic_dict() for r in serial]
+        for report in reports:
+            got = [
+                TrialResult.from_dict(result).deterministic_dict()
+                for result in report["results"]
+            ]
+            assert got == expected

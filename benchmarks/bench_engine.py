@@ -32,6 +32,7 @@ import numpy as np
 
 from _bench_io import record
 from repro import nn
+from repro.obs.snapshots import rate, throughput_snapshot
 from repro.core import (
     GradientPredictor,
     HeuristicSchedule,
@@ -155,9 +156,13 @@ def test_bench_engine_phase_rates(benchmark):
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)
-    bp_rate = timer.batches_per_second(Phase.BP) + 0.0
-    warmup_rate = timer.batches_per_second(Phase.WARMUP)
-    gp_rate = timer.batches_per_second(Phase.GP)
+    # One aggregation for everyone: rates come out of the canonical obs
+    # snapshot, and the snapshot itself rides along in the record — the
+    # bench numbers and the engine's own summary() share one source.
+    snapshot = throughput_snapshot(timer)
+    bp_rate = rate(snapshot, Phase.BP)
+    warmup_rate = rate(snapshot, Phase.WARMUP)
+    gp_rate = rate(snapshot, Phase.GP)
     benchmark.extra_info["bp_batches_per_s"] = bp_rate
     benchmark.extra_info["warmup_batches_per_s"] = warmup_rate
     benchmark.extra_info["gp_batches_per_s"] = gp_rate
@@ -170,6 +175,7 @@ def test_bench_engine_phase_rates(benchmark):
             "gp_batches_per_s": gp_rate,
             "gp_over_bp": gp_rate / bp_rate if bp_rate else float("nan"),
         },
+        throughput=snapshot,
     )
     print(f"\n{timer.summary()}")
     # Skipping backward must pay off in software too.

@@ -30,9 +30,14 @@ Package map
                       (identity, AdaComp adaptive residual
                       compression), and the ``ddp_engine`` factory —
                       GP phases ship zero gradient bytes.
+``repro.obs``         Phase-aware observability: span tracer (JSONL /
+                      Chrome trace exporters), metrics registry with
+                      cross-rank merge, engine callbacks, sampling
+                      per-op backend profiler, ``python -m repro.obs
+                      report`` phase×op breakdowns.
 """
 
-from . import accel, core, data, dist, experiments, models, nn, pipeline, tune
+from . import accel, core, data, dist, experiments, models, nn, obs, pipeline, tune
 from .accel import AcceleratorConfig, AcceleratorModel, AdaGPDesign, DataflowKind
 from .core import (
     AdaGPTrainer,
@@ -61,6 +66,7 @@ __all__ = [
     "experiments",
     "models",
     "nn",
+    "obs",
     "pipeline",
     "tune",
     "AcceleratorConfig",

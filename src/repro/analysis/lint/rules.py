@@ -407,11 +407,69 @@ class NoGradPurityRule(Rule):
         return findings
 
 
+class ObsDisciplineRule(Rule):
+    """Instrumentation in hot subsystems must route through ``repro.obs``
+    (PR 10) — a bare ``print()`` in the engine/dist/pipeline/backend
+    layers is unstructured output no exporter ever sees, and an ad-hoc
+    ``time.perf_counter()`` accumulator is a fourth timing aggregation
+    waiting to disagree with the tracer.  The tracer's own clock is the
+    one justified raw-clock site (inline ``noqa``); pre-obs timers are
+    grandfathered in the baseline."""
+
+    name = "obs-discipline"
+    description = (
+        "no bare print()/ad-hoc time.perf_counter() in hot subsystems; "
+        "instrument through repro.obs (spans, metrics, bridges)"
+    )
+    scope = (
+        "src/repro/core/",
+        "src/repro/dist/",
+        "src/repro/pipeline/",
+        "src/repro/nn/backend/",
+        "src/repro/obs/",
+    )
+
+    def visit(self, tree: ast.AST, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        "bare print() in an instrumented subsystem; emit a "
+                        "span/metric via repro.obs (or write to an explicit "
+                        "stream) so reports stay structured (DESIGN.md §14)",
+                    )
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "perf_counter"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ) or (isinstance(func, ast.Name) and func.id == "perf_counter"):
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        "ad-hoc time.perf_counter() timing in an instrumented "
+                        "subsystem; open a repro.obs span (or inject the "
+                        "tracer clock) so one aggregation owns the numbers "
+                        "(DESIGN.md §14)",
+                    )
+                )
+        return findings
+
+
 for _rule in (
     BackendDispatchRule(),
     CacheNamingRule(),
     VersionBumpRule(),
     RngDisciplineRule(),
     NoGradPurityRule(),
+    ObsDisciplineRule(),
 ):
     register_rule(_rule)

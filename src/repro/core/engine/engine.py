@@ -22,6 +22,7 @@ import numpy as np
 
 from ... import nn
 from ...nn.backend import BackendSpec, backend_scope, resolve_backend
+from ...obs.trace import EVAL, phase_scope, tracer as _obs_tracer
 from ...nn.module import Module, PredictableMixin
 from ...nn.optim import Optimizer
 from ..history import History
@@ -167,7 +168,9 @@ class TrainingEngine:
         allocations don't stay pinned between batches."""
         strategy = self.strategy_for(phase)
         backend = strategy.backend if strategy.backend is not None else self.backend
-        with backend_scope(backend):
+        # phase_scope (one list push/pop) lets obs attribute backend op
+        # time to the scheduled phase even when tracing is off.
+        with phase_scope(phase), backend_scope(backend):
             result = strategy.train_batch(inputs, targets, phase)
         self.model.clear_caches()
         return result
@@ -216,7 +219,9 @@ class TrainingEngine:
         self.clear_hooks()
         losses: list[float] = []
         metrics: list[float] = []
-        with backend_scope(self.backend), nn.no_grad():
+        with _obs_tracer().span("engine.evaluate", phase=EVAL), phase_scope(
+            EVAL
+        ), backend_scope(self.backend), nn.no_grad():
             for inputs, targets in batches:
                 outputs = self.model(inputs)
                 losses.append(nn.loss_value(self.loss_fn, outputs, targets))

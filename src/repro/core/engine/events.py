@@ -354,12 +354,12 @@ class ThroughputTimer(Callback):
         }
 
     def on_batch_begin(self, engine, epoch, batch_index, phase):
-        self._start = time.perf_counter()
+        self._start = time.perf_counter()  # repro: noqa[obs-discipline] — pre-obs timer, bridged via obs.bridge_throughput
 
     def on_batch_end(self, engine, epoch, batch_index, result):
         if self._start is None:
             return
-        elapsed = time.perf_counter() - self._start
+        elapsed = time.perf_counter() - self._start  # repro: noqa[obs-discipline] — pre-obs timer, bridged via obs.bridge_throughput
         self._start = None
         self.batches[result.phase] += 1
         self.worker_batches[result.phase] += getattr(result, "shard_batches", 1)
@@ -380,18 +380,14 @@ class ThroughputTimer(Callback):
             return float("nan")
         return self.worker_batches[phase] / self.seconds[phase]
 
+    def snapshot(self) -> dict:
+        """Canonical per-phase throughput dict (the one aggregation the
+        experiment runners and benchmark records share too)."""
+        from ...obs.snapshots import throughput_snapshot
+
+        return throughput_snapshot(self)
+
     def summary(self) -> str:
-        parts = []
-        for phase in Phase:
-            if self.batches[phase]:
-                part = (
-                    f"{phase.value}: {self.batches_per_second(phase):.2f} batches/s "
-                    f"({self.batches[phase]} batches)"
-                )
-                if self.worker_batches[phase] != self.batches[phase]:
-                    part += (
-                        f" [{self.worker_batches[phase]} worker shards, "
-                        f"{self.worker_batches_per_second(phase):.2f}/s]"
-                    )
-                parts.append(part)
-        return "throughput — " + ("; ".join(parts) if parts else "no batches")
+        from ...obs.snapshots import format_throughput
+
+        return format_throughput(self.snapshot())

@@ -96,6 +96,7 @@ from typing import Mapping, Optional, Union
 from ..core.engine.strategies import BatchResult, PhaseStrategy
 from ..core.schedule import Phase
 from ..nn.backend import backend_scope
+from ..obs.trace import COMM, RECOVERY, tracer as _obs_tracer
 from .codec import Codec, decode_sum, resolve_codec
 from .transport import (
     PayloadCorrupt,
@@ -454,7 +455,8 @@ class DataParallelStrategy(PhaseStrategy):
                 rebuilds += 1
                 started = time.perf_counter()
                 try:
-                    sent = self._rebuild(rank, sent, epoch)
+                    with _obs_tracer().span("dist.rebuild", phase=RECOVERY, rank=rank):
+                        sent = self._rebuild(rank, sent, epoch)
                 except WorkerError:
                     raise
                 except TransportError as err:
@@ -613,7 +615,10 @@ class DataParallelStrategy(PhaseStrategy):
                     ),
                 )
             )
-        self._collect_all(pending, epoch)
+        with _obs_tracer().span(
+            "dist.sync", phase=COMM, nbytes=state_nbytes(state) * len(pending)
+        ):
+            self._collect_all(pending, epoch)
         self.comm.record_sync(epoch, state_nbytes(state) * len(pending))
         self._need_sync = False
         self._drifted = False
@@ -677,7 +682,8 @@ class DataParallelStrategy(PhaseStrategy):
         }
         # A forfeit here aborts the batch (gradient must cover the whole
         # batch): _RanksLost propagates and train_batch re-runs it.
-        replies.update(self._collect_all(pending, epoch))
+        with _obs_tracer().span("dist.gather", phase=COMM, ranks=len(pending)):
+            replies.update(self._collect_all(pending, epoch))
         for rank, sent in pending:
             self._log[rank].append(sent)
         # Rank-ordered decode+sum — the same kernel every worker runs in
@@ -698,7 +704,10 @@ class DataParallelStrategy(PhaseStrategy):
             for rank in ranks[1:]
         ]
         try:
-            self._collect_all(apply_pending, epoch)
+            with _obs_tracer().span(
+                "dist.apply", phase=COMM, ranks=len(apply_pending)
+            ):
+                self._collect_all(apply_pending, epoch)
             for rank, sent in apply_pending:
                 self._log[rank].append(sent)
         except _RanksLost as err:

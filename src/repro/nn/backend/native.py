@@ -83,6 +83,18 @@ class NativeBackend(FusedBackend):
         # conv loop (see the module docstring).
         self._c_linear = os.environ.get("REPRO_NATIVE_LINEAR") == "1"
         self._c_strided = os.environ.get("REPRO_NATIVE_STRIDED") == "1"
+        # Per-op native-vs-fallback decision counts, bridged into the
+        # metrics registry by repro.obs.bridge_native.
+        self.dispatch_counts: dict[str, dict[str, int]] = {}
+
+    def _dispatch(self, op: str, native: bool) -> bool:
+        paths = self.dispatch_counts.setdefault(op, {"native": 0, "fallback": 0})
+        paths["native" if native else "fallback"] += 1
+        return native
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.dispatch_counts = {}
 
     # -- convolution -----------------------------------------------------
     def conv2d_forward(self, x, weight, bias, stride, padding):
@@ -98,7 +110,9 @@ class NativeBackend(FusedBackend):
             # input *is* the column matrix), strided convs run faster
             # through im2col (module docstring); fall back for anything
             # else the kernels don't cover.
+            self._dispatch("conv2d_forward", False)
             return super().conv2d_forward(x, weight, bias, stride, padding)
+        self._dispatch("conv2d_forward", True)
         batch, in_c, height, width = x.shape
         out_c = weight.shape[0]
         out_h = F.conv_output_size(height, kernel, stride, padding)
@@ -119,7 +133,9 @@ class NativeBackend(FusedBackend):
         if ctx.cols.ndim != 4:
             # Context from the inherited path (pointwise or fallback
             # forward): cols is a column matrix, not the input.
+            self._dispatch("conv2d_backward", False)
             return super().conv2d_backward(grad_out, weight, ctx, with_bias)
+        self._dispatch("conv2d_backward", True)
         x = ctx.cols
         g = np.ascontiguousarray(grad_out, dtype=np.float32)
         batch, in_c, height, width = x.shape
@@ -141,7 +157,9 @@ class NativeBackend(FusedBackend):
         if not self._c_linear or not (
             _f32c(x) and _f32c(weight) and (bias is None or _f32c(bias))
         ):
+            self._dispatch("linear_forward", False)
             return super().linear_forward(x, weight, bias)
+        self._dispatch("linear_forward", True)
         rows = int(np.prod(x.shape[:-1], dtype=np.int64))
         out_f, in_f = weight.shape
         out = np.empty(x.shape[:-1] + (out_f,), dtype=np.float32)
@@ -154,7 +172,9 @@ class NativeBackend(FusedBackend):
         if not self._c_linear or not (
             _f32c(weight) and _f32c(x) and _f32c(grad_out)
         ):
+            self._dispatch("linear_backward", False)
             return super().linear_backward(x, grad_out, weight, with_bias)
+        self._dispatch("linear_backward", True)
         out_f, in_f = weight.shape
         rows = int(np.prod(x.shape[:-1], dtype=np.int64))
         grad_x = np.empty_like(x)
@@ -170,7 +190,9 @@ class NativeBackend(FusedBackend):
     # -- unfold / fold (pooling columns) ---------------------------------
     def unfold(self, x, kernel, stride, padding, fill_value=0.0):
         if not _f32c(x):
+            self._dispatch("unfold", False)
             return super().unfold(x, kernel, stride, padding, fill_value)
+        self._dispatch("unfold", True)
         batch, channels, height, width = x.shape
         out_h = F.conv_output_size(height, kernel, stride, padding)
         out_w = F.conv_output_size(width, kernel, stride, padding)
@@ -187,7 +209,9 @@ class NativeBackend(FusedBackend):
 
     def fold(self, cols, input_shape, kernel, stride, padding):
         if not _f32c(cols):
+            self._dispatch("fold", False)
             return super().fold(cols, input_shape, kernel, stride, padding)
+        self._dispatch("fold", True)
         batch, channels, height, width = input_shape
         out_h = F.conv_output_size(height, kernel, stride, padding)
         out_w = F.conv_output_size(width, kernel, stride, padding)

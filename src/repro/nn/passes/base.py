@@ -99,6 +99,11 @@ class FoldCache:
 
     def __init__(self) -> None:
         self._entries: dict[tuple, tuple] = {}
+        # Hit/miss counters for repro.obs.bridge_fold_cache: a miss is
+        # any lookup that recomputes (absent, version-stale, or id
+        # reuse), which is exactly the fold work the caller pays for.
+        self.hits = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -111,7 +116,9 @@ class FoldCache:
             and entry[0] == versions
             and all(ref() is layer for ref, layer in zip(entry[2], layers))
         ):
+            self.hits += 1
             return entry[1]
+        self.misses += 1
         return None
 
     def store(self, layers: Sequence[Module], versions: tuple, value):

@@ -1,0 +1,152 @@
+"""Bridges copying existing stats objects into the metrics registry.
+
+Each ``bridge_*`` function reads one established accumulator
+(``ThroughputTimer``, ``CommStats``, ``WorkspacePool``, fold cache,
+native dispatch counts, the adaptive schedule) and pins the
+corresponding registry instruments to its **exact** values via
+``Counter.set_to`` / ``Gauge.set``.  The original object stays the
+source of truth; calling a bridge again re-pins, so bridges are safe to
+run every epoch and once more at fit end.
+
+Everything here is duck-typed — arguments are "anything with these
+attributes" — so this module imports nothing from the rest of
+``repro`` and the instrumented subsystems never import it back.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import MetricsRegistry, registry as _default_registry
+
+
+def _reg(reg: Optional[MetricsRegistry]) -> MetricsRegistry:
+    return reg if reg is not None else _default_registry()
+
+
+def bridge_throughput(timer, reg: Optional[MetricsRegistry] = None) -> None:
+    """``ThroughputTimer`` -> ``repro_engine_{batches,worker_batches,phase_seconds}``
+    labelled by phase."""
+    reg = _reg(reg)
+    batches = reg.counter(
+        "repro_engine_batches", "engine-observed batches per phase"
+    )
+    worker_batches = reg.counter(
+        "repro_engine_worker_batches", "per-worker shard batches per phase"
+    )
+    seconds = reg.counter(
+        "repro_engine_phase_seconds", "engine wall seconds per phase"
+    )
+    for phase, count in timer.batches.items():
+        batches.set_to(count, phase=getattr(phase, "value", phase))
+    for phase, count in getattr(timer, "worker_batches", {}).items():
+        worker_batches.set_to(count, phase=getattr(phase, "value", phase))
+    for phase, secs in timer.seconds.items():
+        seconds.set_to(secs, phase=getattr(phase, "value", phase))
+
+
+def bridge_comm(comm, reg: Optional[MetricsRegistry] = None) -> None:
+    """``dist.CommStats`` -> ``repro_dist_*`` counters, one per ledger
+    column, pinned to ``comm.totals()`` exactly."""
+    reg = _reg(reg)
+    totals = comm.totals()
+    for key, value in totals.items():
+        reg.counter(f"repro_dist_{key}", f"CommStats {key} total").set_to(value)
+    ratio = comm.compression_ratio()
+    if ratio == ratio:  # skip NaN (no gradient traffic yet)
+        reg.gauge(
+            "repro_dist_compression_ratio", "measured dense/wire gradient ratio"
+        ).set(ratio)
+
+
+def bridge_workspace(pool, reg: Optional[MetricsRegistry] = None) -> None:
+    """``WorkspacePool`` -> ``repro_backend_pool_*``."""
+    reg = _reg(reg)
+    reg.counter("repro_backend_pool_hits", "workspace pool hits").set_to(pool.hits)
+    reg.counter("repro_backend_pool_misses", "workspace pool misses").set_to(
+        pool.misses
+    )
+    reg.gauge(
+        "repro_backend_pool_outstanding", "buffers checked out right now"
+    ).set(pool.outstanding)
+    reg.gauge("repro_backend_pool_parked_bytes", "bytes parked in free lists").set(
+        pool.parked_bytes()
+    )
+
+
+def bridge_fold_cache(
+    cache, reg: Optional[MetricsRegistry] = None, **labels
+) -> None:
+    """Fold cache (``nn.passes`` :class:`FoldCache`) -> ``repro_passes_fold_*``
+    (label with e.g. ``pass_name=conv_bn_relu`` when bridging several)."""
+    reg = _reg(reg)
+    reg.counter("repro_passes_fold_hits", "fold-cache hits").set_to(
+        cache.hits, **labels
+    )
+    reg.counter("repro_passes_fold_misses", "fold-cache misses").set_to(
+        cache.misses, **labels
+    )
+    reg.gauge("repro_passes_fold_entries", "live fold-cache entries").set(
+        len(cache), **labels
+    )
+
+
+def bridge_fold_pipeline(pipeline, reg: Optional[MetricsRegistry] = None) -> None:
+    """Every pass cache in a ``PassPipeline``, labelled by pass name."""
+    for pipeline_pass in getattr(pipeline, "passes", ()):
+        cache = getattr(pipeline_pass, "cache", None)
+        if cache is not None and hasattr(cache, "hits"):
+            bridge_fold_cache(
+                cache, reg, pass_name=getattr(pipeline_pass, "name", "unknown")
+            )
+
+
+def bridge_native(backend, reg: Optional[MetricsRegistry] = None) -> None:
+    """Native backend ``dispatch_counts`` -> ``repro_backend_dispatch``
+    labelled (op, path=native|fallback)."""
+    reg = _reg(reg)
+    dispatch = reg.counter(
+        "repro_backend_dispatch", "native-vs-fallback dispatch decisions"
+    )
+    for op, paths in getattr(backend, "dispatch_counts", {}).items():
+        for path, count in paths.items():
+            dispatch.set_to(count, op=op, path=path)
+
+
+def bridge_schedule(schedule, reg: Optional[MetricsRegistry] = None) -> None:
+    """Schedule state -> ``repro_schedule_*`` (adaptive MAPE gauge plus
+    phase-decision counts when the caller tracks them)."""
+    reg = _reg(reg)
+    mape = getattr(schedule, "_recent_mape", None)
+    if mape is not None:
+        reg.gauge(
+            "repro_schedule_recent_mape", "adaptive schedule EWMA of predictor MAPE"
+        ).set(mape)
+
+
+def bridge_all(
+    *,
+    timer=None,
+    comm=None,
+    pool=None,
+    fold_cache=None,
+    fold_pipeline=None,
+    native=None,
+    schedule=None,
+    reg: Optional[MetricsRegistry] = None,
+) -> None:
+    """Run every bridge whose source is provided (``None`` skips)."""
+    if timer is not None:
+        bridge_throughput(timer, reg)
+    if comm is not None:
+        bridge_comm(comm, reg)
+    if pool is not None:
+        bridge_workspace(pool, reg)
+    if fold_cache is not None:
+        bridge_fold_cache(fold_cache, reg)
+    if fold_pipeline is not None:
+        bridge_fold_pipeline(fold_pipeline, reg)
+    if native is not None:
+        bridge_native(native, reg)
+    if schedule is not None:
+        bridge_schedule(schedule, reg)

@@ -1,0 +1,171 @@
+"""Engine callbacks attaching the tracer and metrics registry.
+
+:class:`TracingCallback` opens one span per batch (named
+``engine.batch``, phase-tagged from the scheduled phase) plus per-epoch
+and per-fit framing spans; :class:`MetricsCallback` counts batches as
+they happen and re-runs the stat bridges each epoch end, discovering
+the engine's attached accumulators (``ThroughputTimer`` on the callback
+list, ``CommStats`` on any dist strategy, backend pool / fold cache /
+native dispatch counts, schedule MAPE) so callers attach two callbacks
+and get the whole registry populated.
+
+Both are *duck-typed* callbacks — they implement the six hook methods
+plus ``state_dict``/``load_state_dict`` without importing
+``repro.core`` (``CallbackList`` never type-checks), which keeps
+``repro.obs`` import-cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import bridges
+from .metrics import MetricsRegistry, registry as _default_registry
+from .trace import Tracer, phase_tag, tracer as _default_tracer
+
+
+class TracingCallback:
+    """Record ``engine.fit`` / ``engine.epoch`` / ``engine.batch`` spans.
+
+    Batch spans carry the scheduled phase tag and, on close, the batch
+    loss — so the Chrome trace alone can reconstruct a loss curve.
+    Defaults to the process-global tracer; pass an explicit
+    :class:`~repro.obs.trace.Tracer` (e.g. with an injected clock) for
+    deterministic traces.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self._tracer = tracer
+        self._fit = None
+        self._epoch = None
+        self._batch = None
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else _default_tracer()
+
+    # -- Callback protocol (duck-typed) ---------------------------------
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        pass
+
+    def on_fit_begin(self, engine, epochs):
+        self._fit = self.tracer.begin("engine.fit", epochs=epochs)
+
+    def on_epoch_begin(self, engine, epoch):
+        self._epoch = self.tracer.begin("engine.epoch", epoch=epoch)
+
+    def on_batch_begin(self, engine, epoch, batch_index, phase):
+        self._batch = self.tracer.begin(
+            "engine.batch",
+            phase=phase_tag(phase),
+            epoch=epoch,
+            batch=batch_index,
+        )
+
+    def on_batch_end(self, engine, epoch, batch_index, result):
+        tr = self.tracer
+        if self._batch is not None and result is not None:
+            loss = getattr(result, "loss", None)
+            if loss is not None:
+                self._batch.args["loss"] = float(loss)
+        tr.end(self._batch)
+        self._batch = None
+
+    def on_epoch_end(self, engine, epoch, logs):
+        self.tracer.end(self._epoch)
+        self._epoch = None
+
+    def on_fit_end(self, engine):
+        self.tracer.end(self._fit)
+        self._fit = None
+
+
+class MetricsCallback:
+    """Populate the metrics registry from a training run.
+
+    Per batch: increments ``repro_engine_batches_live`` (labelled by
+    phase) — a counter that exists even when no ``ThroughputTimer`` is
+    attached.  Per epoch end and at fit end: runs every applicable
+    bridge, discovering sources from the engine —
+
+    * ``ThroughputTimer`` instances on ``engine.callbacks``,
+    * ``CommStats`` via a ``comm`` attribute on any strategy,
+    * the workspace pool via ``engine.backend.pool``,
+    * fold-cache counters via the backend's ``fold_pipeline()`` passes,
+    * native dispatch counts via ``engine.backend.dispatch_counts``,
+    * ``_recent_mape`` on ``engine.schedule``.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._registry = registry
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else _default_registry()
+
+    # -- Callback protocol (duck-typed) ---------------------------------
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        pass
+
+    def on_fit_begin(self, engine, epochs):
+        pass
+
+    def on_epoch_begin(self, engine, epoch):
+        pass
+
+    def on_batch_begin(self, engine, epoch, batch_index, phase):
+        pass
+
+    def on_batch_end(self, engine, epoch, batch_index, result):
+        phase = getattr(result, "phase", None)
+        self.registry.counter(
+            "repro_engine_batches_live", "batches seen by MetricsCallback"
+        ).inc(phase=phase_tag(phase) if phase is not None else "unknown")
+
+    def on_epoch_end(self, engine, epoch, logs):
+        self.bridge(engine)
+
+    def on_fit_end(self, engine):
+        self.bridge(engine)
+
+    # -- bridging -------------------------------------------------------
+    def bridge(self, engine) -> None:
+        """Run every applicable bridge against ``engine``'s state."""
+        reg = self.registry
+        for callback in getattr(engine.callbacks, "callbacks", []):
+            # ThroughputTimer duck-check: the three aggregation dicts.
+            if (
+                hasattr(callback, "batches")
+                and hasattr(callback, "seconds")
+                and hasattr(callback, "batches_per_second")
+            ):
+                bridges.bridge_throughput(callback, reg)
+        seen: set[int] = set()
+        for strategy in getattr(engine, "strategies", {}).values():
+            comm = getattr(strategy, "comm", None)
+            if comm is not None and hasattr(comm, "totals") and id(comm) not in seen:
+                seen.add(id(comm))
+                bridges.bridge_comm(comm, reg)
+        backend = getattr(engine, "backend", None)
+        pool = getattr(backend, "pool", None)
+        if pool is not None and hasattr(pool, "hits"):
+            bridges.bridge_workspace(pool, reg)
+        if hasattr(backend, "dispatch_counts"):
+            bridges.bridge_native(backend, reg)
+        fold_pipeline = (
+            backend.fold_pipeline() if hasattr(backend, "fold_pipeline") else None
+        )
+        if fold_pipeline is not None:
+            bridges.bridge_fold_pipeline(fold_pipeline, reg)
+        schedule = getattr(engine, "schedule", None)
+        if schedule is not None:
+            bridges.bridge_schedule(schedule, reg)
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()

@@ -1,0 +1,84 @@
+"""Canonical throughput/timing aggregation shared by every reporter.
+
+Before this module, three code paths re-derived "batches per second"
+independently — ``ThroughputTimer.summary``, the ``experiments``
+runners, and each benchmark's hand-rolled rate math — and could
+disagree on rounding, phase filtering, or worker-shard handling.  Now
+:func:`throughput_snapshot` is the one place the numbers come from:
+``ThroughputTimer.summary`` formats it, ``experiments.runner`` prints
+it, and ``benchmarks/_bench_io`` embeds it in ``BENCH_*.json`` — so a
+bench record and the engine's own report can never disagree.
+
+Duck-typed like the rest of ``repro.obs``: a "timer" is anything with
+``batches`` / ``worker_batches`` / ``seconds`` dicts keyed by phase.
+"""
+
+from __future__ import annotations
+
+
+def _phase_value(phase) -> str:
+    return str(getattr(phase, "value", phase))
+
+
+def throughput_snapshot(timer) -> dict:
+    """The canonical per-phase throughput dict.
+
+    ``{phase: {"batches", "worker_batches", "seconds",
+    "batches_per_second", "worker_batches_per_second"}}`` — phases with
+    zero batches are omitted, rates are ``None`` (JSON-safe, unlike
+    NaN) when no time accrued.
+    """
+    snap: dict[str, dict] = {}
+    worker_batches = getattr(timer, "worker_batches", {})
+    for phase, count in timer.batches.items():
+        if not count:
+            continue
+        key = _phase_value(phase)
+        seconds = timer.seconds.get(phase, 0.0)
+        workers = worker_batches.get(phase, count)
+        snap[key] = {
+            "batches": count,
+            "worker_batches": workers,
+            "seconds": seconds,
+            "batches_per_second": (count / seconds) if seconds > 0 else None,
+            "worker_batches_per_second": (
+                (workers / seconds) if seconds > 0 else None
+            ),
+        }
+    return snap
+
+
+def format_throughput(snapshot: dict) -> str:
+    """Human-readable one-liner (the ``ThroughputTimer.summary`` format,
+    preserved byte-for-byte so logs and tests keep parsing)."""
+    parts = []
+    for phase, row in snapshot.items():
+        rate = row["batches_per_second"]
+        rate_text = f"{rate:.2f}" if rate is not None else "nan"
+        part = f"{phase}: {rate_text} batches/s ({row['batches']} batches)"
+        if row["worker_batches"] != row["batches"]:
+            wrate = row["worker_batches_per_second"]
+            wrate_text = f"{wrate:.2f}" if wrate is not None else "nan"
+            part += f" [{row['worker_batches']} worker shards, {wrate_text}/s]"
+        parts.append(part)
+    return "throughput — " + ("; ".join(parts) if parts else "no batches")
+
+
+def rate(snapshot: dict, phase, per_worker: bool = False) -> float:
+    """One phase's batches/s out of a snapshot (NaN when absent/timeless)
+    — the lookup benchmarks use instead of re-dividing counts."""
+    row = snapshot.get(_phase_value(phase))
+    if row is None:
+        return float("nan")
+    value = row["worker_batches_per_second" if per_worker else "batches_per_second"]
+    return float("nan") if value is None else value
+
+
+def total_seconds(snapshot: dict) -> float:
+    """Summed measured batch seconds across phases."""
+    return sum(row["seconds"] for row in snapshot.values())
+
+
+def total_batches(snapshot: dict) -> int:
+    """Summed batches across phases."""
+    return sum(row["batches"] for row in snapshot.values())

@@ -45,6 +45,7 @@ from ..nn.backend import BackendSpec, backend_scope, resolve_backend
 from ..nn.layers.core import Sequential
 from ..nn.losses import loss_value
 from ..nn.module import Module, Parameter
+from ..obs.trace import BP, GP, current_phase, tracer as _obs_tracer
 from .partition import StagePlan, partition_sequential
 from .schedules import PipelineConfig, PipelineKind
 from .simulator import Task, Timeline
@@ -273,6 +274,12 @@ class PipelineExecutor:
         position = [0] * stages
         remaining = sum(len(ops) for ops in op_lists)
         batch_id = self.batches_run
+        # Spans carry the *virtual device clock* times (same numbers as
+        # the Timeline), so trace and ASCII timeline agree exactly; the
+        # phase tag follows the engine's scope, defaulting to bp for
+        # backward batches and gp for forward-only streams.
+        tracer = _obs_tracer()
+        span_phase = current_phase(BP if backward else GP)
         while remaining:
             progressed = False
             for s in range(stages):
@@ -332,6 +339,16 @@ class PipelineExecutor:
                     task = Task(s, start, end, op, m, s, batch=batch_id)
                     tasks.append(task)
                     self.timeline.tasks.append(task)
+                    if tracer.enabled:
+                        tracer.record(
+                            f"pipe.{op}",
+                            span_phase,
+                            start,
+                            end,
+                            track=s,
+                            micro=m,
+                            batch=batch_id,
+                        )
                     position[s] += 1
                     remaining -= 1
                     progressed = True

@@ -1,0 +1,155 @@
+"""Metrics registry semantics: naming, labels, snapshot/delta/merge.
+
+The cross-rank merge rules (counters/histograms sum, gauges keep the
+first rank) are what make "W=2 rank-merge equals serial accounting" a
+provable invariant in the integration tests.
+"""
+
+import pytest
+
+from repro import obs
+
+
+class TestNaming:
+    def test_valid_names_accepted(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("repro_dist_grad_wire_bytes")
+        reg.gauge("repro_backend_pool_outstanding")
+        reg.histogram("repro_engine_batch_seconds")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["grad_bytes", "repro_bytes", "repro-dist-bytes", "repro_Dist_bytes", ""],
+    )
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(ValueError, match="repro_<subsystem>_<name>"):
+            obs.MetricsRegistry().counter(bad)
+
+    def test_kind_conflict_rejected(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("repro_dist_sync_bytes")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("repro_dist_sync_bytes")
+
+
+class TestCounter:
+    def test_inc_and_labels(self):
+        counter = obs.MetricsRegistry().counter("repro_engine_batches_total")
+        counter.inc(phase="bp")
+        counter.inc(2, phase="bp")
+        counter.inc(phase="gp")
+        assert counter.value(phase="bp") == 3
+        assert counter.value(phase="gp") == 1
+        assert counter.total() == 4
+
+    def test_label_order_is_canonical(self):
+        counter = obs.MetricsRegistry().counter("repro_backend_dispatch_total")
+        counter.inc(op="conv", path="native")
+        counter.inc(path="native", op="conv")
+        assert counter.value(op="conv", path="native") == 2
+
+    def test_monotone(self):
+        counter = obs.MetricsRegistry().counter("repro_engine_batches_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+        counter.set_to(10)
+        with pytest.raises(ValueError, match="backwards"):
+            counter.set_to(5)
+
+    def test_set_to_pins_exact_value(self):
+        # The bridging contract: external accumulators copy exactly.
+        counter = obs.MetricsRegistry().counter("repro_dist_sync_bytes")
+        counter.set_to(17_123)
+        counter.set_to(17_123)  # idempotent re-bridge
+        assert counter.value() == 17_123
+
+
+class TestGaugeHistogram:
+    def test_gauge_last_write_wins(self):
+        gauge = obs.MetricsRegistry().gauge("repro_backend_pool_outstanding")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value() == 2
+
+    def test_histogram_buckets(self):
+        hist = obs.MetricsRegistry().histogram(
+            "repro_engine_batch_seconds", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 3.0):
+            hist.observe(value)
+        assert hist.count() == 3
+        assert hist.sum() == pytest.approx(3.55)
+        snap = hist.snapshot()["series"][""]
+        assert snap["counts"] == [1, 1, 1]  # ≤0.1, ≤1.0, overflow
+
+
+class TestSnapshotDelta:
+    def test_delta_subtracts_counters_passes_gauges(self):
+        reg = obs.MetricsRegistry()
+        counter = reg.counter("repro_dist_sync_bytes")
+        gauge = reg.gauge("repro_backend_pool_outstanding")
+        hist = reg.histogram("repro_engine_batch_seconds", buckets=(1.0,))
+        counter.inc(10)
+        gauge.set(4)
+        hist.observe(0.5)
+        first = reg.snapshot()
+        counter.inc(7)
+        gauge.set(9)
+        hist.observe(2.0)
+        delta = obs.MetricsRegistry.delta(reg.snapshot(), first)
+        assert delta["repro_dist_sync_bytes"]["series"][""] == 7
+        assert delta["repro_backend_pool_outstanding"]["series"][""] == 9
+        hrow = delta["repro_engine_batch_seconds"]["series"][""]
+        assert hrow["count"] == 1 and hrow["counts"] == [0, 1]
+
+    def test_snapshot_is_json_safe_plain_data(self, tmp_path):
+        reg = obs.MetricsRegistry()
+        reg.counter("repro_dist_sync_bytes").inc(3, phase="bp")
+        path = tmp_path / "snap.json"
+        obs.dump_snapshot(reg.snapshot(), path)
+        assert obs.load_snapshot(path) == reg.snapshot()
+
+
+class TestMerge:
+    def test_rank_merge_equals_serial_accounting(self):
+        """Two ranks each doing half the work merge to the serial total."""
+        serial = obs.MetricsRegistry()
+        ranks = [obs.MetricsRegistry() for _ in range(2)]
+        for step in range(10):
+            serial.counter("repro_dist_grad_wire_bytes").inc(100, phase="bp")
+            serial.histogram(
+                "repro_engine_batch_seconds", buckets=(1.0,)
+            ).observe(0.5)
+            rank = ranks[step % 2]
+            rank.counter("repro_dist_grad_wire_bytes").inc(100, phase="bp")
+            rank.histogram(
+                "repro_engine_batch_seconds", buckets=(1.0,)
+            ).observe(0.5)
+        merged = obs.merge_snapshots([r.snapshot() for r in ranks])
+        assert merged == serial.snapshot()
+
+    def test_gauges_keep_first_rank(self):
+        ranks = [obs.MetricsRegistry() for _ in range(2)]
+        ranks[0].gauge("repro_backend_pool_outstanding").set(1)
+        ranks[1].gauge("repro_backend_pool_outstanding").set(7)
+        merged = obs.merge_snapshots([r.snapshot() for r in ranks])
+        assert merged["repro_backend_pool_outstanding"]["series"][""] == 1
+
+    def test_kind_conflict_across_ranks_rejected(self):
+        a = obs.MetricsRegistry()
+        b = obs.MetricsRegistry()
+        a.counter("repro_dist_sync_bytes").inc()
+        b.gauge("repro_dist_sync_bytes").set(1)
+        with pytest.raises(TypeError, match="conflicting kinds"):
+            obs.merge_snapshots([a.snapshot(), b.snapshot()])
+
+
+class TestGlobalRegistry:
+    def test_set_registry_swaps_and_restores(self):
+        fresh = obs.MetricsRegistry()
+        previous = obs.set_registry(fresh)
+        try:
+            assert obs.registry() is fresh
+        finally:
+            obs.set_registry(previous)
+        assert obs.registry() is previous
